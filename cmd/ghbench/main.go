@@ -1,0 +1,66 @@
+// Command ghbench regenerates the paper's tables and figures from the
+// simulation substrate.
+//
+// Usage:
+//
+//	ghbench [-seed N] [-quick] [id ...]
+//	ghbench -list
+//
+// With no ids, every registered experiment runs in order. Ids follow the
+// paper's numbering: tab1–tab4, fig3, fig6, fig8–fig14, plus the
+// ablations (abl-dbupdate, abl-solver, abl-predictor, abl-noise).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"greenhetero/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ghbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ghbench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 7, "measurement noise seed")
+	quick := fs.Bool("quick", false, "shrink epoch counts for a fast pass")
+	md := fs.Bool("md", false, "emit GitHub-flavored Markdown instead of aligned text")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	for i, id := range ids {
+		tbl, err := experiments.Run(id, opts)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if *md {
+			if _, err := tbl.WriteMarkdown(os.Stdout); err != nil {
+				return err
+			}
+		} else if _, err := tbl.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

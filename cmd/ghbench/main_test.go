@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "tab3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiple(t *testing.T) {
+	if err := run([]string{"-quick", "tab1", "fig3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"fig99"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-frobnicate"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run([]string{"-quick", "-md", "tab2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Command ghtrace generates and inspects the synthetic solar traces that
+// stand in for the paper's NREL irradiance data.
+//
+// Usage:
+//
+//	ghtrace gen  [-profile high|low] [-peak 2200] [-days 7] [-seed 1] [-out trace.csv]
+//	ghtrace info [-step 15m] trace.csv
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"greenhetero/internal/solar"
+	"greenhetero/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ghtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return errors.New("usage: ghtrace gen|info [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "info":
+		return runInfo(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen or info)", args[0])
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("ghtrace gen", flag.ContinueOnError)
+	profileFlag := fs.String("profile", "high", "generation profile: high or low")
+	peak := fs.Float64("peak", 2200, "PV array peak output (W)")
+	days := fs.Int("days", 7, "trace length in days")
+	seed := fs.Int64("seed", 1, "weather seed")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	profile, err := solar.ParseProfile(*profileFlag)
+	if err != nil {
+		return err
+	}
+	tr, err := solar.Generate(solar.Config{
+		Profile:   profile,
+		PeakWatts: *peak,
+		Days:      *days,
+		Step:      15 * time.Minute,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tr.WriteCSV(w)
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("ghtrace info", flag.ContinueOnError)
+	step := fs.Duration("step", 15*time.Minute, "sampling step of the CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: ghtrace info [-step 15m] trace.csv")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f, fs.Arg(0), *step)
+	if err != nil {
+		return err
+	}
+	stats, err := tr.Summarize()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("samples: %d  span: %v  start: %s\n", tr.Len(), tr.Duration(), tr.Start.Format(time.RFC3339))
+	fmt.Printf("min: %.1f W  max: %.1f W  mean: %.1f W\n", stats.Min, stats.Max, stats.Mean)
+	var wh float64
+	for _, v := range tr.Values {
+		wh += v * tr.Step.Hours()
+	}
+	fmt.Printf("energy: %.0f Wh (%.2f kWh/day)\n", wh, wh/1000/(tr.Duration().Hours()/24))
+	return nil
+}

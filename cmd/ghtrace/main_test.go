@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenAndInfoRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"gen", "-profile", "low", "-days", "2", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "index,timestamp,value") {
+		t.Errorf("csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	if err := run([]string{"info", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no subcommand", nil},
+		{"unknown subcommand", []string{"frobnicate"}},
+		{"bad profile", []string{"gen", "-profile", "wind"}},
+		{"bad gen flag", []string{"gen", "-days", "x"}},
+		{"info missing file", []string{"info", "/nonexistent/trace.csv"}},
+		{"info no args", []string{"info"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("run(%v) should error", tt.args)
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+// Command greenhetero runs one simulated rack under a chosen policy and
+// prints the per-epoch record plus a summary — the interactive front end
+// to the library.
+//
+// Usage:
+//
+//	greenhetero [-combo Comb1] [-workload specjbb] [-policy GreenHetero]
+//	            [-trace high|low] [-epochs 96] [-grid 1000] [-panel 2200]
+//	            [-seed 7] [-every 4] [-compare]
+//
+// With -compare, all five Table III policies run on identical conditions
+// and a comparison summary is printed instead of the epoch record.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"greenhetero/internal/policy"
+	"greenhetero/internal/scenario"
+	"greenhetero/internal/server"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "greenhetero:", err)
+		os.Exit(1)
+	}
+}
+
+// comboServers mirrors Table IV.
+var comboServers = map[string][]string{
+	"Comb1": {server.XeonE52620, server.CoreI54460},
+	"Comb2": {server.XeonE52603, server.CoreI54460},
+	"Comb3": {server.XeonE52650, server.XeonE52620},
+	"Comb4": {server.CoreI78700K, server.CoreI54460},
+	"Comb5": {server.XeonE52620, server.XeonE52603, server.CoreI54460},
+	"Comb6": {server.XeonE52620, server.TitanXp},
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("greenhetero", flag.ContinueOnError)
+	comboFlag := fs.String("combo", "Comb1", "server combination (Comb1..Comb6)")
+	workloadFlag := fs.String("workload", workload.SPECjbb, "workload id (see ghbench tab1)")
+	policyFlag := fs.String("policy", "GreenHetero", "allocation policy (Table III name)")
+	traceFlag := fs.String("trace", "high", "solar trace: high or low")
+	epochs := fs.Int("epochs", 96, "number of 15-minute scheduling epochs")
+	grid := fs.Float64("grid", 1000, "grid power budget (W)")
+	panel := fs.Float64("panel", 2200, "PV array peak output (W)")
+	seed := fs.Int64("seed", 7, "measurement noise seed")
+	every := fs.Int("every", 4, "print every Nth epoch")
+	compare := fs.Bool("compare", false, "compare all five policies instead")
+	csvPath := fs.String("csv", "", "also write the per-epoch record to this CSV file")
+	scenarioPath := fs.String("scenario", "", "load the run from a JSON scenario file (overrides combo/workload/trace flags)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *epochs < 1 || *every < 1 {
+		return errors.New("epochs and every must be positive")
+	}
+
+	if *scenarioPath != "" {
+		sc, err := scenario.LoadFile(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		cfg, err := sc.Build()
+		if err != nil {
+			return err
+		}
+		if *compare {
+			return runCompare(cfg)
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		printRun(res, *every)
+		return writeCSVIfAsked(res, *csvPath)
+	}
+
+	serverIDs, ok := comboServers[*comboFlag]
+	if !ok {
+		return fmt.Errorf("unknown combo %q (have Comb1..Comb6)", *comboFlag)
+	}
+	groups := make([]server.Group, 0, len(serverIDs))
+	for _, id := range serverIDs {
+		spec, err := server.Lookup(id)
+		if err != nil {
+			return err
+		}
+		groups = append(groups, server.Group{Spec: spec, Count: 5})
+	}
+	rack, err := server.NewRack(strings.ToLower(*comboFlag), groups...)
+	if err != nil {
+		return err
+	}
+	w, err := workload.Lookup(*workloadFlag)
+	if err != nil {
+		return err
+	}
+	profile, err := solar.ParseProfile(*traceFlag)
+	if err != nil {
+		return err
+	}
+	generate := solar.DefaultHigh
+	if profile == solar.Low {
+		generate = solar.DefaultLow
+	}
+	tr, err := generate(*panel)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Rack:        rack,
+		Workload:    w,
+		Solar:       tr,
+		Epochs:      *epochs,
+		GridBudgetW: *grid,
+		Seed:        *seed,
+	}
+
+	if *compare {
+		return runCompare(cfg)
+	}
+
+	p, err := policy.ByName(*policyFlag)
+	if err != nil {
+		return err
+	}
+	cfg.Policy = p
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printRun(res, *every)
+	return writeCSVIfAsked(res, *csvPath)
+}
+
+// writeCSVIfAsked exports the per-epoch record when a path was given.
+func writeCSVIfAsked(res *sim.Result, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func printRun(res *sim.Result, every int) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "epoch\thour\tcase\tren(W)\tsupply(W)\tPAR\tperf\tEPU\tbatt out\tbatt in\tgrid\tSoC")
+	for i, e := range res.Epochs {
+		if i%every != 0 {
+			continue
+		}
+		par := 0.0
+		var sum float64
+		for _, f := range e.Fractions {
+			sum += f
+		}
+		if sum > 0 {
+			par = e.Fractions[0] / sum
+		}
+		fmt.Fprintf(tw, "%d\t%.1f\t%s\t%.0f\t%.0f\t%.2f\t%.0f\t%.2f\t%.0f\t%.0f\t%.0f\t%.2f\n",
+			e.Epoch, float64(e.Epoch)/4, e.Case, e.RenewableW, e.SupplyW, par,
+			e.Perf, e.EPU, e.BatteryOutW, e.BatteryInW, e.GridW, e.BatterySoC)
+	}
+	tw.Flush()
+	fmt.Printf("\npolicy=%s workload=%s epochs=%d\n", res.Policy, res.Workload, len(res.Epochs))
+	fmt.Printf("mean perf=%.0f (scarce %.0f)  mean EPU=%.3f (scarce %.3f)  mean PAR=%.0f%%  grid=%.0f Wh\n",
+		res.MeanPerf(), res.MeanPerfScarce(), res.MeanEPU(), res.MeanEPUScarce(),
+		res.MeanPAR()*100, res.GridEnergyWh())
+}
+
+func runCompare(cfg sim.Config) error {
+	results, err := sim.Compare(cfg, policy.All())
+	if err != nil {
+		return err
+	}
+	base := results["Uniform"]
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tmean perf\tvs Uniform\tscarce perf\tvs Uniform\tmean EPU\tgrid (Wh)")
+	for _, p := range policy.All() {
+		r := results[p.Name()]
+		fmt.Fprintf(tw, "%s\t%.0f\t%.2fx\t%.0f\t%.2fx\t%.3f\t%.0f\n",
+			p.Name(), r.MeanPerf(), ratio(r.MeanPerf(), base.MeanPerf()),
+			r.MeanPerfScarce(), ratio(r.MeanPerfScarce(), base.MeanPerfScarce()),
+			r.MeanEPU(), r.GridEnergyWh())
+	}
+	return tw.Flush()
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	if err := run([]string{"-epochs", "8"}); err != nil {
+		t.Fatalf("default run: %v", err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	if err := run([]string{"-compare", "-epochs", "8"}); err != nil {
+		t.Fatalf("compare run: %v", err)
+	}
+}
+
+func TestRunLowTraceGPUCombo(t *testing.T) {
+	if err := run([]string{"-combo", "Comb6", "-workload", "srad_v1", "-trace", "low", "-epochs", "8"}); err != nil {
+		t.Fatalf("comb6 run: %v", err)
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.csv")
+	if err := run([]string{"-epochs", "8", "-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "epoch,case") {
+		t.Errorf("csv starts %q", string(data[:20]))
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 9 {
+		t.Errorf("csv lines = %d, want 9", lines)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad combo", []string{"-combo", "Comb9"}},
+		{"bad workload", []string{"-workload", "doom"}},
+		{"bad policy", []string{"-policy", "Oracle"}},
+		{"bad trace", []string{"-trace", "wind"}},
+		{"bad epochs", []string{"-epochs", "0"}},
+		{"bad flag", []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("run(%v) should error", tt.args)
+			}
+		})
+	}
+}
+
+func TestRatioHelper(t *testing.T) {
+	if ratio(6, 3) != 2 || ratio(1, 0) != 0 {
+		t.Error("ratio helper broken")
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	doc := `{
+  "name": "cli-scenario",
+  "groups": [
+    {"server": "e5-2620", "count": 5, "workload": "specjbb"},
+    {"server": "i5-4460", "count": 5, "workload": "memcached"}
+  ],
+  "policy": "GreenHetero",
+  "solar": {"profile": "low", "peakWatts": 2000, "days": 1, "seed": 2},
+  "epochs": 12,
+  "gridBudgetW": 800
+}`
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-every", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-compare"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", "/nonexistent.json"}); err == nil {
+		t.Error("missing scenario should error")
+	}
+}

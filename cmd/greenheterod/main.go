@@ -1,0 +1,179 @@
+// Command greenheterod runs a rack controller as a long-lived service
+// with an HTTP introspection API — one scheduling epoch per wall-clock
+// tick (simulated time accelerated).
+//
+// Usage:
+//
+//	greenheterod [-listen 127.0.0.1:7946] [-tick 1s]
+//	             [-combo Comb1] [-workload specjbb] [-policy GreenHetero]
+//	             [-trace high|low] [-grid 1000] [-panel 2200] [-seed 7]
+//
+// Then:
+//
+//	curl localhost:7946/status
+//	curl localhost:7946/history
+//	curl localhost:7946/db
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"greenhetero/internal/daemon"
+	"greenhetero/internal/policy"
+	"greenhetero/internal/scenario"
+	"greenhetero/internal/server"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/workload"
+)
+
+func main() {
+	if err := run(signalContext(), os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "greenheterod:", err)
+		os.Exit(1)
+	}
+}
+
+// signalContext cancels on SIGINT/SIGTERM.
+func signalContext() context.Context {
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	return ctx
+}
+
+// comboServers mirrors Table IV.
+var comboServers = map[string][]string{
+	"Comb1": {server.XeonE52620, server.CoreI54460},
+	"Comb2": {server.XeonE52603, server.CoreI54460},
+	"Comb3": {server.XeonE52650, server.XeonE52620},
+	"Comb4": {server.CoreI78700K, server.CoreI54460},
+	"Comb5": {server.XeonE52620, server.XeonE52603, server.CoreI54460},
+	"Comb6": {server.XeonE52620, server.TitanXp},
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("greenheterod", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7946", "HTTP listen address")
+	tick := fs.Duration("tick", time.Second, "wall-clock time per scheduling epoch")
+	comboFlag := fs.String("combo", "Comb1", "server combination (Comb1..Comb6)")
+	workloadFlag := fs.String("workload", workload.SPECjbb, "workload id")
+	policyFlag := fs.String("policy", "GreenHetero", "allocation policy (Table III name)")
+	traceFlag := fs.String("trace", "high", "solar trace: high or low")
+	grid := fs.Float64("grid", 1000, "grid power budget (W)")
+	panel := fs.Float64("panel", 2200, "PV array peak output (W)")
+	seed := fs.Int64("seed", 7, "measurement noise seed")
+	scenarioPath := fs.String("scenario", "", "load the rack from a JSON scenario file (overrides combo/workload/trace flags)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var session *sim.Session
+	if *scenarioPath != "" {
+		sc, err := scenario.LoadFile(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		cfg, err := sc.Build()
+		if err != nil {
+			return err
+		}
+		session, err = sim.NewSession(cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		session, err = buildSession(*comboFlag, *workloadFlag, *policyFlag, *traceFlag, *grid, *panel, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	d, err := daemon.New(daemon.Config{Session: session, Tick: *tick})
+	if err != nil {
+		return err
+	}
+	if err := d.Start(); err != nil {
+		return err
+	}
+	defer d.Stop()
+
+	srv := &http.Server{Addr: *listen, Handler: d.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe()
+	}()
+	fmt.Printf("greenheterod: serving on http://%s (tick %v, combo %s, workload %s, policy %s)\n",
+		*listen, *tick, *comboFlag, *workloadFlag, *policyFlag)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// buildSession assembles the stepwise simulation from the flags.
+func buildSession(combo, workloadID, policyName, traceName string, grid, panel float64, seed int64) (*sim.Session, error) {
+	serverIDs, ok := comboServers[combo]
+	if !ok {
+		return nil, fmt.Errorf("unknown combo %q (have Comb1..Comb6)", combo)
+	}
+	groups := make([]server.Group, 0, len(serverIDs))
+	for _, id := range serverIDs {
+		spec, err := server.Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, server.Group{Spec: spec, Count: 5})
+	}
+	rack, err := server.NewRack(strings.ToLower(combo), groups...)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Lookup(workloadID)
+	if err != nil {
+		return nil, err
+	}
+	p, err := policy.ByName(policyName)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := solar.ParseProfile(traceName)
+	if err != nil {
+		return nil, err
+	}
+	generate := solar.DefaultHigh
+	if profile == solar.Low {
+		generate = solar.DefaultLow
+	}
+	tr, err := generate(panel)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewSession(sim.Config{
+		Rack:        rack,
+		Workload:    w,
+		Policy:      p,
+		Solar:       tr,
+		Epochs:      tr.Len(), // a full week, then the trace end holds
+		GridBudgetW: grid,
+		Seed:        seed,
+	})
+}

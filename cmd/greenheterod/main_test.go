@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestBuildSessionErrors(t *testing.T) {
+	tests := []struct {
+		name                    string
+		combo, wl, pol, traceID string
+	}{
+		{"bad combo", "Comb9", "specjbb", "GreenHetero", "high"},
+		{"bad workload", "Comb1", "doom", "GreenHetero", "high"},
+		{"bad policy", "Comb1", "specjbb", "Oracle", "high"},
+		{"bad trace", "Comb1", "specjbb", "GreenHetero", "wind"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := buildSession(tt.combo, tt.wl, tt.pol, tt.traceID, 1000, 2200, 7); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	if _, err := buildSession("Comb1", "specjbb", "GreenHetero", "high", 1000, 2200, 7); err != nil {
+		t.Fatalf("valid session: %v", err)
+	}
+}
+
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	addr := freePort(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-listen", addr, "-tick", "5ms"})
+	}()
+
+	// Wait for the API to come up and serve a status with progress.
+	url := fmt.Sprintf("http://%s/status", addr)
+	deadline := time.Now().Add(10 * time.Second)
+	var sawEpoch bool
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		var st struct {
+			Epochs int `json:"epochs"`
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&st)
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if decodeErr == nil && st.Epochs > 0 {
+			sawEpoch = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawEpoch {
+		t.Error("daemon never reported a completed epoch")
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
+		t.Error("bad flag should error")
+	}
+	if err := run(context.Background(), []string{"-combo", "Comb9"}); err == nil {
+		t.Error("bad combo should error")
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	doc := `{
+  "name": "daemon-scenario",
+  "groups": [{"server": "e5-2620", "count": 5, "workload": "specjbb"}],
+  "policy": "Uniform",
+  "solar": {"profile": "high", "peakWatts": 1500, "days": 1, "seed": 1},
+  "epochs": 96,
+  "gridBudgetW": 500
+}`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-listen", addr, "-tick", "5ms", "-scenario", path})
+	}()
+	// Wait for a healthy response then shut down.
+	deadline := time.Now().Add(10 * time.Second)
+	healthy := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+		if err == nil {
+			if err := resp.Body.Close(); err != nil {
+				t.Fatal(err)
+			}
+			healthy = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !healthy {
+		t.Error("daemon never became healthy")
+	}
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Bad scenario path errors immediately.
+	if err := run(context.Background(), []string{"-scenario", "/nonexistent.json"}); err == nil {
+		t.Error("missing scenario should error")
+	}
+}

@@ -1,0 +1,3 @@
+module greenhetero
+
+go 1.22

@@ -1,0 +1,213 @@
+// Package greenhetero is a from-scratch reproduction of "GreenHetero:
+// Adaptive Power Allocation for Heterogeneous Green Datacenters"
+// (Cai, Cao, Jiang, Wang — ICDCS 2021).
+//
+// GreenHetero is a rack-level controller for renewable-powered
+// datacenters with heterogeneous servers. Each scheduling epoch it
+// predicts renewable generation and rack demand (Holt smoothing), selects
+// power sources (renewable / battery / grid, Cases A/B/C), and splits the
+// available power across the rack's heterogeneous server groups by
+// solving for the optimal power allocation ratio (PAR) over an
+// online-profiled performance-power database.
+//
+// This package is the public facade: it re-exports the library's main
+// types via aliases and provides convenience constructors. The
+// implementation lives in the internal packages (one per subsystem — see
+// DESIGN.md for the full inventory):
+//
+//   - internal/core       — the controller (Monitor/Scheduler/Enforcer)
+//   - internal/sim        — the simulated testbed the evaluation runs on
+//   - internal/policy     — the five Table III allocation policies
+//   - internal/solver     — the PAR optimizer
+//   - internal/profiledb  — the performance-power database
+//   - internal/server     — Table II server models, DVFS ladders
+//   - internal/workload   — Table I workloads and response surfaces
+//   - internal/solar, internal/battery, internal/power — the green
+//     power substrate
+//   - internal/telemetry  — distributed TCP sensor agents
+//   - internal/experiments — one runner per paper table/figure
+//
+// # Quick start
+//
+//	rack, _ := greenhetero.NewComb1Rack()
+//	tr, _ := greenhetero.SolarHigh(2200)
+//	res, _ := greenhetero.RunSimulation(greenhetero.SimConfig{
+//		Rack:        rack,
+//		Workload:    greenhetero.MustWorkload(greenhetero.SPECjbb),
+//		Policy:      greenhetero.GreenHetero(),
+//		Solar:       tr,
+//		Epochs:      96,
+//		GridBudgetW: 1000,
+//	})
+//	fmt.Println(res.MeanPerf(), res.MeanEPU())
+package greenhetero
+
+import (
+	"greenhetero/internal/battery"
+	"greenhetero/internal/core"
+	"greenhetero/internal/experiments"
+	"greenhetero/internal/policy"
+	"greenhetero/internal/scenario"
+	"greenhetero/internal/server"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/trace"
+	"greenhetero/internal/workload"
+)
+
+// Re-exported core types. Aliases keep the facade zero-cost: values move
+// freely between the facade and the internal packages.
+type (
+	// Rack is a PDU-level collection of up to three heterogeneous
+	// server groups.
+	Rack = server.Rack
+	// ServerSpec describes one server configuration (a Table II row).
+	ServerSpec = server.Spec
+	// ServerGroup is a homogeneous set of servers within a rack.
+	ServerGroup = server.Group
+	// Workload describes one Table I workload.
+	Workload = workload.Workload
+	// Policy decides a PAR vector each epoch (Table III).
+	Policy = policy.Policy
+	// SimConfig configures a simulation run.
+	SimConfig = sim.Config
+	// SimResult is a full simulation record.
+	SimResult = sim.Result
+	// EpochResult is one epoch's outcome.
+	EpochResult = sim.EpochResult
+	// Controller is the rack-level GreenHetero controller.
+	Controller = core.Controller
+	// ControllerConfig assembles a Controller.
+	ControllerConfig = core.Config
+	// BatteryConfig parameterizes a rack battery bank.
+	BatteryConfig = battery.Config
+	// Trace is a uniformly-sampled power series.
+	Trace = trace.Trace
+	// ExperimentTable is a reproduced paper artifact.
+	ExperimentTable = experiments.Table
+	// ExperimentOptions tunes an experiment runner.
+	ExperimentOptions = experiments.Options
+)
+
+// Workload catalog ids (Table I).
+const (
+	SPECjbb       = workload.SPECjbb
+	WebSearch     = workload.WebSearch
+	Memcached     = workload.Memcached
+	Streamcluster = workload.Streamcluster
+	Canneal       = workload.Canneal
+	Mcf           = workload.Mcf
+	SradV1        = workload.SradV1
+	Cfd           = workload.Cfd
+)
+
+// Server catalog ids (Table II).
+const (
+	XeonE52620  = server.XeonE52620
+	XeonE52650  = server.XeonE52650
+	XeonE52603  = server.XeonE52603
+	CoreI78700K = server.CoreI78700K
+	CoreI54460  = server.CoreI54460
+	TitanXp     = server.TitanXp
+)
+
+// Servers returns the Table II server catalog.
+func Servers() []ServerSpec { return server.Catalog() }
+
+// LookupServer finds a catalog server by id.
+func LookupServer(id string) (ServerSpec, error) { return server.Lookup(id) }
+
+// Workloads returns the Table I workload catalog.
+func Workloads() []Workload { return workload.Catalog() }
+
+// LookupWorkload finds a catalog workload by id.
+func LookupWorkload(id string) (Workload, error) { return workload.Lookup(id) }
+
+// MustWorkload looks up a catalog workload and panics on unknown ids;
+// intended for the compile-time constants above.
+func MustWorkload(id string) Workload {
+	w, err := workload.Lookup(id)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// NewRack builds a rack from heterogeneous server groups (≤3 types).
+func NewRack(name string, groups ...ServerGroup) (*Rack, error) {
+	return server.NewRack(name, groups...)
+}
+
+// NewComb1Rack builds the paper's default evaluation rack: five Xeon
+// E5-2620 plus five Core i5-4460 servers (§V-B.1).
+func NewComb1Rack() (*Rack, error) {
+	a, err := server.Lookup(server.XeonE52620)
+	if err != nil {
+		return nil, err
+	}
+	b, err := server.Lookup(server.CoreI54460)
+	if err != nil {
+		return nil, err
+	}
+	return server.NewRack("comb1",
+		server.Group{Spec: a, Count: 5},
+		server.Group{Spec: b, Count: 5})
+}
+
+// Policies returns fresh instances of the five Table III policies.
+func Policies() []Policy { return policy.All() }
+
+// PolicyByName resolves a Table III policy name ("Uniform", "Manual",
+// "GreenHetero-p", "GreenHetero-a", "GreenHetero").
+func PolicyByName(name string) (Policy, error) { return policy.ByName(name) }
+
+// GreenHetero returns the full adaptive policy.
+func GreenHetero() Policy { return policy.Solver{Adaptive: true} }
+
+// UniformPolicy returns the heterogeneity-oblivious baseline.
+func UniformPolicy() Policy { return policy.Uniform{} }
+
+// SolarHigh generates the one-week High solar trace (clear days) for a
+// PV array with the given peak output.
+func SolarHigh(peakWatts float64) (*Trace, error) { return solar.DefaultHigh(peakWatts) }
+
+// SolarLow generates the one-week Low solar trace (weak, fluctuating).
+func SolarLow(peakWatts float64) (*Trace, error) { return solar.DefaultLow(peakWatts) }
+
+// DefaultBattery returns the paper's bank: 12 kWh lead-acid, 40 % DoD,
+// 80 % round-trip efficiency.
+func DefaultBattery() BatteryConfig { return battery.DefaultConfig() }
+
+// RunSimulation executes one policy against the simulated green-power
+// testbed.
+func RunSimulation(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// ComparePolicies runs the same scenario under several policies with
+// identical traces and noise, keyed by policy name.
+func ComparePolicies(cfg SimConfig, policies []Policy) (map[string]*SimResult, error) {
+	return sim.Compare(cfg, policies)
+}
+
+// NewController assembles a rack-level GreenHetero controller for live
+// (non-simulated) deployments; see examples/livetelemetry.
+func NewController(cfg ControllerConfig) (*Controller, error) { return core.New(cfg) }
+
+// Experiments lists the reproducible paper artifacts (tab1–tab4, fig3,
+// fig6, fig8–fig14, abl-*).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table or figure.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentTable, error) {
+	return experiments.Run(id, opts)
+}
+
+// LoadScenario reads a declarative JSON scenario file and resolves it
+// into a runnable simulation config (see internal/scenario for the
+// schema).
+func LoadScenario(path string) (SimConfig, error) {
+	sc, err := scenario.LoadFile(path)
+	if err != nil {
+		return SimConfig{}, err
+	}
+	return sc.Build()
+}

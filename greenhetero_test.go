@@ -1,0 +1,163 @@
+package greenhetero
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCatalogAccessors(t *testing.T) {
+	if got := len(Servers()); got != 6 {
+		t.Errorf("Servers() = %d, want 6", got)
+	}
+	if got := len(Workloads()); got != 16 {
+		t.Errorf("Workloads() = %d, want 16", got)
+	}
+	s, err := LookupServer(XeonE52620)
+	if err != nil || s.Model != "Xeon E5-2620" {
+		t.Errorf("LookupServer = %+v, %v", s, err)
+	}
+	if _, err := LookupServer("vax"); err == nil {
+		t.Error("unknown server should error")
+	}
+	w, err := LookupWorkload(SPECjbb)
+	if err != nil || w.Name != "SPECjbb" {
+		t.Errorf("LookupWorkload = %+v, %v", w, err)
+	}
+	if _, err := LookupWorkload("doom"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestMustWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustWorkload on unknown id should panic")
+		}
+	}()
+	MustWorkload("doom")
+}
+
+func TestNewComb1Rack(t *testing.T) {
+	rack, err := NewComb1Rack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rack.Servers() != 10 || rack.NumGroups() != 2 {
+		t.Errorf("rack = %d servers, %d groups", rack.Servers(), rack.NumGroups())
+	}
+}
+
+func TestPoliciesAndLookup(t *testing.T) {
+	if got := len(Policies()); got != 5 {
+		t.Errorf("Policies() = %d, want 5", got)
+	}
+	p, err := PolicyByName("GreenHetero")
+	if err != nil || p.Name() != "GreenHetero" {
+		t.Errorf("PolicyByName = %v, %v", p, err)
+	}
+	if GreenHetero().Name() != "GreenHetero" || UniformPolicy().Name() != "Uniform" {
+		t.Error("policy constructors mislabeled")
+	}
+}
+
+func TestSolarConstructors(t *testing.T) {
+	hi, err := SolarHigh(2000)
+	if err != nil || hi.Len() != 7*96 {
+		t.Errorf("SolarHigh: %v len %d", err, hi.Len())
+	}
+	lo, err := SolarLow(2000)
+	if err != nil || lo.Len() != 7*96 {
+		t.Errorf("SolarLow: %v len %d", err, lo.Len())
+	}
+}
+
+func TestDefaultBattery(t *testing.T) {
+	b := DefaultBattery()
+	if b.CapacityWh != 12000 || b.DepthOfDischarge != 0.40 || b.Efficiency != 0.80 {
+		t.Errorf("DefaultBattery = %+v", b)
+	}
+}
+
+// TestPublicAPIEndToEnd drives the README quick-start flow.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	rack, err := NewComb1Rack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := SolarHigh(2200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimConfig{
+		Rack:        rack,
+		Workload:    MustWorkload(SPECjbb),
+		Solar:       tr,
+		Epochs:      48,
+		GridBudgetW: 1000,
+		Seed:        7,
+	}
+	results, err := ComparePolicies(cfg, []Policy{UniformPolicy(), GreenHetero()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, gh := results["Uniform"], results["GreenHetero"]
+	if gh.MeanPerf() <= uni.MeanPerf() {
+		t.Errorf("GreenHetero (%v) should beat Uniform (%v)", gh.MeanPerf(), uni.MeanPerf())
+	}
+
+	cfg.Policy = GreenHetero()
+	single, err := RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Epochs) != 48 {
+		t.Errorf("epochs = %d", len(single.Epochs))
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 19 {
+		t.Fatalf("Experiments() = %v", ids)
+	}
+	tbl, err := RunExperiment("tab2", ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "tab2" || len(tbl.Rows) != 6 {
+		t.Errorf("tab2 = %+v", tbl)
+	}
+	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestLoadScenarioFacade(t *testing.T) {
+	doc := `{
+  "name": "facade",
+  "groups": [{"server": "e5-2620", "count": 5, "workload": "specjbb"}],
+  "policy": "GreenHetero",
+  "solar": {"profile": "high", "peakWatts": 1500, "days": 1, "seed": 1},
+  "epochs": 8,
+  "gridBudgetW": 500
+}`
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 8 {
+		t.Errorf("epochs = %d", len(res.Epochs))
+	}
+	if _, err := LoadScenario("/nonexistent.json"); err == nil {
+		t.Error("missing scenario should error")
+	}
+}

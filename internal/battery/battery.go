@@ -1,0 +1,260 @@
+// Package battery models the rack-level distributed energy storage used
+// by GreenHetero (paper §II-A, §IV-B.1, §V-A.2): a lead-acid bank
+// (default 10 × 12 V × 100 Ah = 12 kWh) with a 40 % depth-of-discharge
+// floor, 80 % round-trip efficiency, and charge/discharge power caps.
+//
+// The model is energy-accounting only (no electrochemistry): each epoch
+// the simulator asks to charge or discharge some power for the epoch
+// duration, and the bank applies efficiency, DoD, and rate limits. Cycle
+// counting follows the paper's accounting (a "cycle" is one full
+// discharge to the DoD floor, used for the lifetime remarks in §V-B.3).
+package battery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Config parameterizes a bank. All energies are watt-hours, powers watts.
+type Config struct {
+	// CapacityWh is the nameplate energy capacity (paper: 12 kWh).
+	CapacityWh float64
+	// DepthOfDischarge is the usable fraction of capacity (paper: 0.40
+	// — the bank never drains below 60 % state of charge).
+	DepthOfDischarge float64
+	// Efficiency is the round-trip efficiency, applied on charge
+	// (paper: 0.80).
+	Efficiency float64
+	// MaxChargeW caps charging power; 0 means unlimited.
+	MaxChargeW float64
+	// MaxDischargeW caps discharging power; 0 means unlimited.
+	MaxDischargeW float64
+}
+
+// DefaultConfig reproduces the paper's setup: 10 × 12 V × 100 Ah
+// lead-acid (12 kWh), DoD 40 %, efficiency 80 %.
+func DefaultConfig() Config {
+	return Config{
+		CapacityWh:       12000,
+		DepthOfDischarge: 0.40,
+		Efficiency:       0.80,
+	}
+}
+
+// ErrBadConfig is returned by New for invalid configurations.
+var ErrBadConfig = errors.New("battery: bad config")
+
+// RatedCycles is the cycle life of the paper's lead-acid bank at 40 %
+// depth of discharge: 1300 recharge cycles (§V-A.2, after Kontorinis et
+// al.).
+const RatedCycles = 1300
+
+// LifetimeYears estimates the bank's service life from an observed
+// cycling rate: cycles consumed over the observed window, extrapolated
+// against the rated cycle budget. Zero observed cycles yields +Inf
+// (calendar aging is out of scope, as in the paper); a non-positive
+// window yields 0.
+func LifetimeYears(cycles int, observed time.Duration) float64 {
+	if observed <= 0 {
+		return 0
+	}
+	if cycles <= 0 {
+		return math.Inf(1)
+	}
+	perYear := float64(cycles) / observed.Hours() * 24 * 365
+	return RatedCycles / perYear
+}
+
+// Bank is a battery bank. Not safe for concurrent use; the simulator
+// owns it single-threaded, and the controller sees only snapshots.
+type Bank struct {
+	cfg      Config
+	chargeWh float64 // current stored energy
+	floorWh  float64 // minimum stored energy (DoD floor)
+
+	cycles        int
+	atFloor       bool // latched while resting at the floor
+	dischargedWh  float64
+	chargedWh     float64
+	gridChargedWh float64
+}
+
+// New validates cfg and returns a bank at full charge (the paper
+// initializes the battery to its maximal state, §V-B.1).
+func New(cfg Config) (*Bank, error) {
+	if cfg.CapacityWh <= 0 {
+		return nil, fmt.Errorf("%w: capacity %v", ErrBadConfig, cfg.CapacityWh)
+	}
+	if cfg.DepthOfDischarge <= 0 || cfg.DepthOfDischarge > 1 {
+		return nil, fmt.Errorf("%w: DoD %v", ErrBadConfig, cfg.DepthOfDischarge)
+	}
+	if cfg.Efficiency <= 0 || cfg.Efficiency > 1 {
+		return nil, fmt.Errorf("%w: efficiency %v", ErrBadConfig, cfg.Efficiency)
+	}
+	if cfg.MaxChargeW < 0 || cfg.MaxDischargeW < 0 {
+		return nil, fmt.Errorf("%w: negative power cap", ErrBadConfig)
+	}
+	return &Bank{
+		cfg:      cfg,
+		chargeWh: cfg.CapacityWh,
+		floorWh:  cfg.CapacityWh * (1 - cfg.DepthOfDischarge),
+	}, nil
+}
+
+// Config returns the bank's configuration.
+func (b *Bank) Config() Config { return b.cfg }
+
+// ChargeWh reports the currently stored energy.
+func (b *Bank) ChargeWh() float64 { return b.chargeWh }
+
+// SoC reports the state of charge in [0, 1].
+func (b *Bank) SoC() float64 { return b.chargeWh / b.cfg.CapacityWh }
+
+// AtDoD reports whether the bank has drained to its DoD floor and can no
+// longer discharge.
+func (b *Bank) AtDoD() bool { return b.chargeWh <= b.floorWh+1e-9 }
+
+// Full reports whether the bank is at nameplate capacity.
+func (b *Bank) Full() bool { return b.chargeWh >= b.cfg.CapacityWh-1e-9 }
+
+// Cycles reports completed discharge-to-DoD cycles (paper §V-B.3 counts
+// ~2/day on the Low trace).
+func (b *Bank) Cycles() int { return b.cycles }
+
+// Totals reports lifetime energy flows: discharged to load, charged in
+// (post-efficiency), and the charged-in share that came from the grid.
+func (b *Bank) Totals() (dischargedWh, chargedWh, gridChargedWh float64) {
+	return b.dischargedWh, b.chargedWh, b.gridChargedWh
+}
+
+// AvailableDischargeW returns the maximum power the bank can sustain for
+// the given duration without crossing the DoD floor (and within the
+// discharge cap).
+func (b *Bank) AvailableDischargeW(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	headroom := b.chargeWh - b.floorWh
+	if headroom <= 0 {
+		return 0
+	}
+	p := headroom / d.Hours()
+	if b.cfg.MaxDischargeW > 0 && p > b.cfg.MaxDischargeW {
+		p = b.cfg.MaxDischargeW
+	}
+	return p
+}
+
+// AcceptableChargeW returns the maximum charging power (pre-efficiency,
+// i.e. power drawn from the source) the bank can absorb for duration d.
+func (b *Bank) AcceptableChargeW(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	room := b.cfg.CapacityWh - b.chargeWh
+	if room <= 0 {
+		return 0
+	}
+	// Source power × efficiency × hours = stored Wh.
+	p := room / (b.cfg.Efficiency * d.Hours())
+	if b.cfg.MaxChargeW > 0 && p > b.cfg.MaxChargeW {
+		p = b.cfg.MaxChargeW
+	}
+	return p
+}
+
+// SetSoC forces the state of charge (for experiment setup, e.g. "the
+// batteries have drained out", §V-B.4). The value clamps to the usable
+// band [1−DoD, 1]; setting the floor marks a completed cycle boundary so
+// subsequent discharges count cycles correctly.
+func (b *Bank) SetSoC(frac float64) error {
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("%w: SoC %v", ErrBadConfig, frac)
+	}
+	wh := b.cfg.CapacityWh * frac
+	if wh < b.floorWh {
+		wh = b.floorWh
+	}
+	b.chargeWh = wh
+	b.atFloor = b.AtDoD()
+	return nil
+}
+
+// Source identifies where charging energy comes from. Only one source may
+// charge the battery at a time (paper §IV-B.1 assumption 3).
+type Source int
+
+const (
+	// SourceRenewable is on-site PV.
+	SourceRenewable Source = iota + 1
+	// SourceGrid is utility power.
+	SourceGrid
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceRenewable:
+		return "renewable"
+	case SourceGrid:
+		return "grid"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Discharge drains up to requestW for duration d and returns the power
+// actually delivered (limited by the DoD floor and discharge cap).
+func (b *Bank) Discharge(requestW float64, d time.Duration) float64 {
+	if requestW <= 0 || d <= 0 {
+		return 0
+	}
+	p := requestW
+	if avail := b.AvailableDischargeW(d); p > avail {
+		p = avail
+	}
+	if p <= 0 {
+		return 0
+	}
+	b.chargeWh -= p * d.Hours()
+	if b.chargeWh < b.floorWh {
+		b.chargeWh = b.floorWh
+	}
+	b.dischargedWh += p * d.Hours()
+	if b.AtDoD() && !b.atFloor {
+		b.cycles++
+		b.atFloor = true
+	}
+	return p
+}
+
+// Charge absorbs up to offerW (source-side watts) for duration d from the
+// given source and returns the source power actually consumed. Storage
+// gains offerW × efficiency × hours.
+func (b *Bank) Charge(offerW float64, d time.Duration, src Source) float64 {
+	if offerW <= 0 || d <= 0 {
+		return 0
+	}
+	p := offerW
+	if acc := b.AcceptableChargeW(d); p > acc {
+		p = acc
+	}
+	if p <= 0 {
+		return 0
+	}
+	stored := p * b.cfg.Efficiency * d.Hours()
+	b.chargeWh += stored
+	if b.chargeWh > b.cfg.CapacityWh {
+		b.chargeWh = b.cfg.CapacityWh
+	}
+	b.chargedWh += stored
+	if src == SourceGrid {
+		b.gridChargedWh += stored
+	}
+	if b.chargeWh > b.floorWh+1e-9 {
+		b.atFloor = false
+	}
+	return p
+}

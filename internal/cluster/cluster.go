@@ -1,0 +1,226 @@
+// Package cluster lifts the rack-level GreenHetero controller to a
+// multi-rack green datacenter (paper §II-A, Fig. 2). The paper argues for
+// a *distributed* deployment — one controller, PV feed, and battery bank
+// per rack, none of it shared (§IV-A) — and leaves multi-rack coordination
+// as future work. This package implements that deployment: each rack runs
+// its own controller against its own share of the site's PV output, racks
+// simulate concurrently, and the site aggregates results.
+//
+// It also implements the one cross-rack decision the architecture leaves
+// open: how the site's PV output is split across rack PDUs. ShareUniform
+// mirrors the heterogeneity-oblivious default (every rack gets an equal
+// feed); ShareDemandProportional sizes each rack's feed to its demand —
+// the same heterogeneity-awareness GreenHetero applies within a rack,
+// applied one level up.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"greenhetero/internal/battery"
+	"greenhetero/internal/policy"
+	"greenhetero/internal/server"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/trace"
+	"greenhetero/internal/workload"
+)
+
+// ShareStrategy decides each rack's fraction of the site PV output.
+type ShareStrategy int
+
+const (
+	// ShareUniform gives every rack an equal PV share.
+	ShareUniform ShareStrategy = iota + 1
+	// ShareDemandProportional sizes shares by rack demand
+	// (Σ count·peakEff for the rack's workload).
+	ShareDemandProportional
+)
+
+// String implements fmt.Stringer.
+func (s ShareStrategy) String() string {
+	switch s {
+	case ShareUniform:
+		return "uniform"
+	case ShareDemandProportional:
+		return "demand-proportional"
+	default:
+		return fmt.Sprintf("ShareStrategy(%d)", int(s))
+	}
+}
+
+// RackConfig describes one rack's deployment.
+type RackConfig struct {
+	// Rack is the rack's server composition.
+	Rack *server.Rack
+	// Workload runs on the rack.
+	Workload workload.Workload
+	// Policy allocates power within the rack.
+	Policy policy.Policy
+	// GridBudgetW caps the rack's grid feed.
+	GridBudgetW float64
+	// Battery configures the rack bank; zero value = paper default.
+	Battery battery.Config
+	// InitialSoC as in sim.Config (0 = full).
+	InitialSoC float64
+}
+
+// Config describes a datacenter run.
+type Config struct {
+	// Racks lists the rack deployments.
+	Racks []RackConfig
+	// Solar is the site-level PV trace, divided among racks by Shares.
+	Solar *trace.Trace
+	// Shares selects the PV division strategy (default ShareUniform).
+	Shares ShareStrategy
+	// Epochs is the simulation length.
+	Epochs int
+	// Seed drives measurement noise (rack i uses Seed+i).
+	Seed int64
+}
+
+// ErrBadConfig is returned for invalid datacenter configurations.
+var ErrBadConfig = errors.New("cluster: bad config")
+
+// RackResult pairs a rack's label with its simulation record.
+type RackResult struct {
+	Name    string
+	PVShare float64
+	Result  *sim.Result
+}
+
+// Result aggregates a datacenter run.
+type Result struct {
+	Racks []RackResult
+}
+
+// TotalPerf sums mean throughput across racks.
+func (r *Result) TotalPerf() float64 {
+	var sum float64
+	for _, rr := range r.Racks {
+		sum += rr.Result.MeanPerf()
+	}
+	return sum
+}
+
+// TotalPerfScarce sums scarce-epoch mean throughput across racks.
+func (r *Result) TotalPerfScarce() float64 {
+	var sum float64
+	for _, rr := range r.Racks {
+		sum += rr.Result.MeanPerfScarce()
+	}
+	return sum
+}
+
+// TotalGridWh sums grid energy across racks.
+func (r *Result) TotalGridWh() float64 {
+	var sum float64
+	for _, rr := range r.Racks {
+		sum += rr.Result.GridEnergyWh()
+	}
+	return sum
+}
+
+// MeanEPU averages rack EPU weighted equally.
+func (r *Result) MeanEPU() float64 {
+	if len(r.Racks) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, rr := range r.Racks {
+		sum += rr.Result.MeanEPU()
+	}
+	return sum / float64(len(r.Racks))
+}
+
+// shares computes each rack's PV fraction under the strategy.
+func shares(cfg Config) ([]float64, error) {
+	n := len(cfg.Racks)
+	out := make([]float64, n)
+	switch cfg.Shares {
+	case ShareUniform:
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+	case ShareDemandProportional:
+		var total float64
+		demands := make([]float64, n)
+		for i, rc := range cfg.Racks {
+			for _, g := range rc.Rack.Groups() {
+				demands[i] += float64(g.Count) * workload.PeakEffW(g.Spec, rc.Workload)
+			}
+			total += demands[i]
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("%w: zero total demand", ErrBadConfig)
+		}
+		for i := range out {
+			out[i] = demands[i] / total
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown share strategy %d", ErrBadConfig, int(cfg.Shares))
+	}
+	return out, nil
+}
+
+// Run simulates every rack concurrently (each is an independent
+// electrical and control domain) and aggregates the site result.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Racks) == 0 {
+		return nil, fmt.Errorf("%w: no racks", ErrBadConfig)
+	}
+	if cfg.Solar == nil {
+		return nil, fmt.Errorf("%w: nil solar trace", ErrBadConfig)
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("%w: epochs %d", ErrBadConfig, cfg.Epochs)
+	}
+	if cfg.Shares == 0 {
+		cfg.Shares = ShareUniform
+	}
+	for i, rc := range cfg.Racks {
+		if rc.Rack == nil || rc.Policy == nil || rc.Workload.ID == "" {
+			return nil, fmt.Errorf("%w: rack %d incomplete", ErrBadConfig, i)
+		}
+	}
+	fractions, err := shares(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Racks: make([]RackResult, len(cfg.Racks))}
+	errs := make([]error, len(cfg.Racks))
+	var wg sync.WaitGroup
+	for i, rc := range cfg.Racks {
+		i, rc := i, rc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rackSolar := cfg.Solar.Scale(fractions[i])
+			simRes, err := sim.Run(sim.Config{
+				Rack:        rc.Rack,
+				Workload:    rc.Workload,
+				Policy:      rc.Policy,
+				Solar:       rackSolar,
+				Epochs:      cfg.Epochs,
+				GridBudgetW: rc.GridBudgetW,
+				Battery:     rc.Battery,
+				InitialSoC:  rc.InitialSoC,
+				Seed:        cfg.Seed + int64(i),
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("rack %s: %w", rc.Rack.Name(), err)
+				return
+			}
+			res.Racks[i] = RackResult{Name: rc.Rack.Name(), PVShare: fractions[i], Result: simRes}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

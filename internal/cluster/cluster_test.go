@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"greenhetero/internal/policy"
+	"greenhetero/internal/server"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/trace"
+	"greenhetero/internal/workload"
+)
+
+func rackOf(t *testing.T, name string, ids []string, count int) *server.Rack {
+	t.Helper()
+	groups := make([]server.Group, 0, len(ids))
+	for _, id := range ids {
+		spec, err := server.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups = append(groups, server.Group{Spec: spec, Count: count})
+	}
+	r, err := server.NewRack(name, groups...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustWorkload(t *testing.T, id string) workload.Workload {
+	t.Helper()
+	w, err := workload.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func twoRackConfig(t *testing.T) Config {
+	t.Helper()
+	tr, err := solar.DefaultHigh(4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Racks: []RackConfig{
+			{
+				Rack:        rackOf(t, "rack-a", []string{server.XeonE52620, server.CoreI54460}, 5),
+				Workload:    mustWorkload(t, workload.SPECjbb),
+				Policy:      policy.Solver{Adaptive: true},
+				GridBudgetW: 1000,
+			},
+			{
+				Rack:        rackOf(t, "rack-b", []string{server.XeonE52603, server.CoreI54460}, 5),
+				Workload:    mustWorkload(t, workload.Canneal),
+				Policy:      policy.Solver{Adaptive: true},
+				GridBudgetW: 800,
+			},
+		},
+		Solar:  tr,
+		Epochs: 48,
+		Seed:   7,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	base := twoRackConfig(t)
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no racks", func(c *Config) { c.Racks = nil }},
+		{"nil solar", func(c *Config) { c.Solar = nil }},
+		{"zero epochs", func(c *Config) { c.Epochs = 0 }},
+		{"nil rack", func(c *Config) { c.Racks[0].Rack = nil }},
+		{"nil policy", func(c *Config) { c.Racks[0].Policy = nil }},
+		{"empty workload", func(c *Config) { c.Racks[0].Workload = workload.Workload{} }},
+		{"bad strategy", func(c *Config) { c.Shares = ShareStrategy(9) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := twoRackConfig(t)
+			tt.mut(&cfg)
+			if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+	_ = base
+}
+
+func TestRunAggregates(t *testing.T) {
+	cfg := twoRackConfig(t)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Racks) != 2 {
+		t.Fatalf("racks = %d", len(res.Racks))
+	}
+	var shareSum float64
+	for _, rr := range res.Racks {
+		if rr.Result == nil {
+			t.Fatalf("rack %s missing result", rr.Name)
+		}
+		if len(rr.Result.Epochs) != cfg.Epochs {
+			t.Errorf("rack %s epochs = %d", rr.Name, len(rr.Result.Epochs))
+		}
+		shareSum += rr.PVShare
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("PV shares sum to %v", shareSum)
+	}
+	if got, want := res.TotalPerf(), res.Racks[0].Result.MeanPerf()+res.Racks[1].Result.MeanPerf(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TotalPerf = %v, want %v", got, want)
+	}
+	if res.MeanEPU() <= 0 || res.MeanEPU() > 1 {
+		t.Errorf("MeanEPU = %v", res.MeanEPU())
+	}
+	if res.TotalGridWh() < 0 {
+		t.Errorf("grid = %v", res.TotalGridWh())
+	}
+	if res.TotalPerfScarce() <= 0 {
+		t.Errorf("scarce perf = %v", res.TotalPerfScarce())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := twoRackConfig(t)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalPerf() != b.TotalPerf() {
+		t.Errorf("non-deterministic: %v vs %v", a.TotalPerf(), b.TotalPerf())
+	}
+}
+
+func TestShareStrategies(t *testing.T) {
+	cfg := twoRackConfig(t)
+	cfg.Shares = ShareDemandProportional
+	fr, err := shares(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rack A (E5-2620 heavy, SPECjbb) demands far more than rack B
+	// (small servers, low-util Canneal).
+	if fr[0] <= fr[1] {
+		t.Errorf("demand shares = %v, want rack A larger", fr)
+	}
+	cfg.Shares = ShareUniform
+	fr, err = shares(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr[0] != 0.5 || fr[1] != 0.5 {
+		t.Errorf("uniform shares = %v", fr)
+	}
+}
+
+func TestDemandProportionalBeatsUniformShares(t *testing.T) {
+	// A scarce site: demand-aware PV division should raise total
+	// datacenter throughput over an equal split, because the hungry
+	// rack is the one that converts extra watts into throughput.
+	scarce, err := trace.New("scarce", simStart(), cfgStep(), constVals(900, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(strategy ShareStrategy) float64 {
+		cfg := twoRackConfig(t)
+		cfg.Solar = scarce
+		cfg.Shares = strategy
+		for i := range cfg.Racks {
+			cfg.Racks[i].GridBudgetW = 0
+			cfg.Racks[i].InitialSoC = 0.6
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalPerf()
+	}
+	uniform := build(ShareUniform)
+	demand := build(ShareDemandProportional)
+	if demand <= uniform {
+		t.Errorf("demand-proportional %v not above uniform %v", demand, uniform)
+	}
+}
+
+func TestShareStrategyString(t *testing.T) {
+	if ShareUniform.String() != "uniform" || ShareDemandProportional.String() != "demand-proportional" {
+		t.Error("String mismatch")
+	}
+	if ShareStrategy(9).String() != "ShareStrategy(9)" {
+		t.Errorf("unknown = %v", ShareStrategy(9))
+	}
+}
+
+func TestRackFailurePropagates(t *testing.T) {
+	// One rack with an invalid battery config: its simulation fails and
+	// the site run must surface the error rather than return a partial
+	// result.
+	cfg := twoRackConfig(t)
+	cfg.Epochs = 5
+	cfg.Racks[1].Battery.CapacityWh = -5
+	if _, err := Run(cfg); err == nil {
+		t.Error("rack failure should propagate")
+	}
+}
+
+// test helpers shared across cases.
+func simStart() time.Time    { return time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC) }
+func cfgStep() time.Duration { return 15 * time.Minute }
+func constVals(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

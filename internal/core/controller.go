@@ -1,0 +1,432 @@
+// Package core implements the GreenHetero Controller (paper §IV, Fig. 4
+// and Fig. 5): the rack-level decision maker that each scheduling epoch
+//
+//  1. predicts renewable generation and rack power demand (Holt double
+//     exponential smoothing, §IV-B.1),
+//  2. selects power sources for the epoch (Cases A/B/C, grid last),
+//  3. if the (server, workload) pair is new, runs a training run and
+//     populates the performance-power database (Algorithm 1 lines 4–5),
+//  4. otherwise asks the configured policy for the power allocation
+//     ratio (PAR) over the predicted supply (line 7),
+//  5. enforces the decision: the PSC switches sources against the live
+//     battery and the SPC maps per-server budgets to DVFS states, and
+//  6. optionally folds runtime feedback samples back into the database
+//     (lines 8–10, GreenHetero's adaptive optimization).
+//
+// The controller is deliberately ignorant of whether its measurements
+// come from a simulator or from live telemetry agents — both implement
+// Prober.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"greenhetero/internal/battery"
+	"greenhetero/internal/enforcer"
+	"greenhetero/internal/fit"
+	"greenhetero/internal/policy"
+	"greenhetero/internal/power"
+	"greenhetero/internal/profiledb"
+	"greenhetero/internal/server"
+	"greenhetero/internal/timeseries"
+	"greenhetero/internal/workload"
+)
+
+// TrainingResult is what a training run measures for one pair.
+type TrainingResult struct {
+	// Samples are the profiled (power, performance) points.
+	Samples []fit.Sample
+	// PeakEffW is the highest power draw observed — the pair's
+	// effective peak demand.
+	PeakEffW float64
+}
+
+// Prober measures live servers. The simulator implements it over the
+// hidden ground truth; live deployments implement it over telemetry.
+type Prober interface {
+	// TrainingRun profiles (spec, w) with ample power, as in Fig. 7:
+	// the system runs under the ondemand governor while performance and
+	// power samples are collected.
+	TrainingRun(spec server.Spec, w workload.Workload) (TrainingResult, error)
+}
+
+// Config assembles a controller.
+type Config struct {
+	// Rack is the controller's rack (rack-level deployment, §IV-A).
+	Rack *server.Rack
+	// DB is the performance-power database.
+	DB *profiledb.DB
+	// Policy decides the PAR (Table III).
+	Policy policy.Policy
+	// Battery is the rack's energy storage.
+	Battery *battery.Bank
+	// GridBudgetW caps grid draw (paper default 1000 W).
+	GridBudgetW float64
+	// Epoch is the scheduling epoch (paper: 15 minutes).
+	Epoch time.Duration
+	// Prober runs training measurements.
+	Prober Prober
+	// TryAllocation, if set, lets the Manual policy trial allocations
+	// on the live system at the epoch's supply.
+	TryAllocation func(supplyW float64, fractions []float64) (float64, error)
+	// Alpha/Beta fix the Holt smoothing parameters. Zero values mean
+	// the defaults (0.5, 0.3); use timeseries.Train on historical
+	// traces to pick better ones.
+	Alpha, Beta float64
+	// RenewablePredictor and DemandPredictor, when set, replace the
+	// default Holt smoothers (e.g. with the seasonal Holt-Winters
+	// extension). The paper's framework explicitly admits "any other
+	// proven prediction approaches" (§IV-B.1).
+	RenewablePredictor timeseries.Predictor
+	DemandPredictor    timeseries.Predictor
+}
+
+// ErrBadConfig is returned by New for incomplete configurations.
+var ErrBadConfig = errors.New("core: bad config")
+
+// Controller is the per-rack GreenHetero controller.
+type Controller struct {
+	cfg       Config
+	renewable timeseries.Predictor
+	demand    timeseries.Predictor
+	psc       *enforcer.PSC
+	spc       enforcer.SPC
+	epochIdx  int
+	// recovering latches after the bank hits its DoD floor and holds
+	// until the charge recovers, so the bank recharges cleanly instead
+	// of trickle-cycling at the floor.
+	recovering bool
+}
+
+// recoverSoC is the state of charge at which a bank that drained to its
+// DoD floor is considered recovered and may discharge again.
+const recoverSoC = 0.75
+
+// New validates cfg and builds a controller.
+func New(cfg Config) (*Controller, error) {
+	switch {
+	case cfg.Rack == nil:
+		return nil, fmt.Errorf("%w: nil rack", ErrBadConfig)
+	case cfg.DB == nil:
+		return nil, fmt.Errorf("%w: nil database", ErrBadConfig)
+	case cfg.Policy == nil:
+		return nil, fmt.Errorf("%w: nil policy", ErrBadConfig)
+	case cfg.Battery == nil:
+		return nil, fmt.Errorf("%w: nil battery", ErrBadConfig)
+	case cfg.Prober == nil:
+		return nil, fmt.Errorf("%w: nil prober", ErrBadConfig)
+	case cfg.Epoch <= 0:
+		return nil, fmt.Errorf("%w: epoch %v", ErrBadConfig, cfg.Epoch)
+	case cfg.GridBudgetW < 0:
+		return nil, fmt.Errorf("%w: grid budget %v", ErrBadConfig, cfg.GridBudgetW)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.5
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 0.3
+	}
+	var ren timeseries.Predictor = cfg.RenewablePredictor
+	if ren == nil {
+		h, err := timeseries.NewHolt(cfg.Alpha, cfg.Beta)
+		if err != nil {
+			return nil, fmt.Errorf("core: renewable predictor: %w", err)
+		}
+		ren = h
+	}
+	var dem timeseries.Predictor = cfg.DemandPredictor
+	if dem == nil {
+		h, err := timeseries.NewHolt(cfg.Alpha, cfg.Beta)
+		if err != nil {
+			return nil, fmt.Errorf("core: demand predictor: %w", err)
+		}
+		dem = h
+	}
+	psc, err := enforcer.NewPSC(cfg.Battery)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Controller{cfg: cfg, renewable: ren, demand: dem, psc: psc}, nil
+}
+
+// Decision records everything the controller decided for one epoch.
+type Decision struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// Case is the supply regime the planner chose.
+	Case power.Case
+	// PredictedRenewableW and PredictedDemandW are the Holt forecasts
+	// the decision was based on.
+	PredictedRenewableW float64
+	PredictedDemandW    float64
+	// Plan is the executed source plan (built against the measured
+	// renewable power at enforcement time).
+	Plan power.Plan
+	// Execution is what the PSC actually did against the live battery.
+	Execution enforcer.Execution
+	// SupplyW is the power actually delivered to the servers.
+	SupplyW float64
+	// Fractions is the PAR vector applied (one per rack group).
+	Fractions []float64
+	// Instructions are the SPC's per-group DVFS decisions.
+	Instructions []enforcer.Instruction
+	// TrainingRun reports whether this epoch ran a training run
+	// instead of a policy allocation.
+	TrainingRun bool
+	// Unconstrained reports a Case A epoch: supply covers demand, so no
+	// power capping is enforced and servers run under the ondemand
+	// governor at their natural draw (the paper observes that adaptive
+	// allocation "has very little impact when the power supply is
+	// abundant"; these are also the epochs whose measurements reveal
+	// each pair's true saturation point to the database).
+	Unconstrained bool
+}
+
+// Step runs one scheduling epoch with every group running the same
+// workload. obsRenewableW is the renewable power measured during this
+// epoch (the PSC sees it in real time; the *predictors* only consume it
+// at the end of the step, so planning uses forecasts). obsDemandW is the
+// rack demand observed last epoch.
+func (c *Controller) Step(obsRenewableW, obsDemandW float64, w workload.Workload) (Decision, error) {
+	ws := make([]workload.Workload, c.cfg.Rack.NumGroups())
+	for i := range ws {
+		ws[i] = w
+	}
+	return c.StepMixed(obsRenewableW, obsDemandW, ws)
+}
+
+// StepMixed is Step for mixed racks: each group runs its own workload
+// (one entry per rack group). Real datacenter racks collocate services;
+// the database keys per (configuration, workload) pair either way.
+func (c *Controller) StepMixed(obsRenewableW, obsDemandW float64, groupWs []workload.Workload) (Decision, error) {
+	if obsRenewableW < 0 || obsDemandW < 0 {
+		return Decision{}, fmt.Errorf("core: negative observation ren=%v dem=%v", obsRenewableW, obsDemandW)
+	}
+	if len(groupWs) != c.cfg.Rack.NumGroups() {
+		return Decision{}, fmt.Errorf("core: %d workloads for %d groups", len(groupWs), c.cfg.Rack.NumGroups())
+	}
+	for i, w := range groupWs {
+		if w.ID == "" {
+			return Decision{}, fmt.Errorf("core: group %d: empty workload", i)
+		}
+	}
+	d := Decision{Epoch: c.epochIdx}
+	c.epochIdx++
+
+	// 1. Predict. Until the smoothers are primed, fall back to the
+	// most recent observation (a nowcast).
+	d.PredictedRenewableW = c.forecast(c.renewable, obsRenewableW)
+	d.PredictedDemandW = c.forecast(c.demand, obsDemandW)
+
+	// 2. Training runs for unprofiled pairs (Algorithm 1 lines 3–5).
+	trained, err := c.ensureProfiled(groupWs)
+	if err != nil {
+		return Decision{}, err
+	}
+	d.TrainingRun = trained
+
+	// 3. Source selection over the forecasts, then enforcement against
+	// the measured renewable power. Prediction error therefore shifts
+	// the PAR optimum (computed for the forecast supply) away from the
+	// supply the servers actually receive — the cost the paper's
+	// trained predictor minimizes.
+	if c.cfg.Battery.AtDoD() {
+		c.recovering = true
+	} else if c.cfg.Battery.SoC() >= recoverSoC {
+		c.recovering = false
+	}
+	planned, err := power.Select(power.Inputs{
+		RenewableW:        d.PredictedRenewableW,
+		DemandW:           d.PredictedDemandW,
+		BatteryDischargeW: c.cfg.Battery.AvailableDischargeW(c.cfg.Epoch),
+		BatteryChargeW:    c.cfg.Battery.AcceptableChargeW(c.cfg.Epoch),
+		GridBudgetW:       c.cfg.GridBudgetW,
+		DischargeLockout:  c.recovering,
+	})
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: plan: %w", err)
+	}
+	d.Case = planned.Case
+
+	// 4. Allocate the predicted supply (line 7). In Case A no capping is
+	// enforced: every server runs at its natural draw, and the recorded
+	// PAR is simply each group's demand share.
+	predictedSupply := planned.SupplyW()
+	switch {
+	case planned.Case == power.CaseA:
+		d.Unconstrained = true
+		d.Fractions = c.demandShares(groupWs)
+	case predictedSupply > 0:
+		fractions, err := c.allocate(groupWs, predictedSupply)
+		if err != nil {
+			return Decision{}, err
+		}
+		d.Fractions = fractions
+	default:
+		d.Fractions = make([]float64, c.cfg.Rack.NumGroups())
+	}
+
+	// 5. Enforce with the measured renewable power.
+	execPlan, err := power.Select(power.Inputs{
+		RenewableW:        obsRenewableW,
+		DemandW:           d.PredictedDemandW,
+		BatteryDischargeW: c.cfg.Battery.AvailableDischargeW(c.cfg.Epoch),
+		BatteryChargeW:    c.cfg.Battery.AcceptableChargeW(c.cfg.Epoch),
+		GridBudgetW:       c.cfg.GridBudgetW,
+		DischargeLockout:  c.recovering,
+	})
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: exec plan: %w", err)
+	}
+	d.Plan = execPlan
+	exec, err := c.psc.Apply(execPlan, c.cfg.Epoch)
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: enforce: %w", err)
+	}
+	d.Execution = exec
+	d.SupplyW = exec.SupplyW
+
+	if d.SupplyW > 0 {
+		ins, err := c.spc.Instructions(c.cfg.Rack, d.Fractions, d.SupplyW)
+		if err != nil {
+			return Decision{}, fmt.Errorf("core: instructions: %w", err)
+		}
+		d.Instructions = ins
+	}
+
+	// 6. Feed the predictors (observations become history).
+	c.renewable.Observe(obsRenewableW)
+	c.demand.Observe(obsDemandW)
+	return d, nil
+}
+
+// forecast returns the smoother's one-step forecast, or the fallback
+// before priming. Negative forecasts (a falling trend extrapolated past
+// zero) clamp to zero.
+func (c *Controller) forecast(h timeseries.Predictor, fallback float64) float64 {
+	v, err := h.Forecast()
+	if err != nil {
+		return fallback
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ensureProfiled runs training runs for any rack group missing a database
+// entry for its workload. Returns whether any training ran this epoch.
+func (c *Controller) ensureProfiled(groupWs []workload.Workload) (bool, error) {
+	var trained bool
+	for i, g := range c.cfg.Rack.Groups() {
+		k := profiledb.Key{ServerID: g.Spec.ID, WorkloadID: groupWs[i].ID}
+		if c.cfg.DB.Has(k) {
+			continue
+		}
+		res, err := c.cfg.Prober.TrainingRun(g.Spec, groupWs[i])
+		if err != nil {
+			return trained, fmt.Errorf("core: training run %s: %w", k, err)
+		}
+		peakEff := res.PeakEffW
+		if peakEff <= g.Spec.IdleW {
+			peakEff = g.Spec.PeakW // defensive: degenerate measurement
+		}
+		if err := c.cfg.DB.AddTrainingRun(k, g.Spec.IdleW, peakEff, res.Samples); err != nil {
+			return trained, fmt.Errorf("core: store training run %s: %w", k, err)
+		}
+		trained = true
+	}
+	return trained, nil
+}
+
+// demandShares returns each group's share of the rack's believed demand,
+// from database ranges when profiled, otherwise nameplate peaks.
+func (c *Controller) demandShares(groupWs []workload.Workload) []float64 {
+	groups := c.cfg.Rack.Groups()
+	demands := make([]float64, len(groups))
+	var total float64
+	for i, g := range groups {
+		perServer := g.Spec.PeakW
+		if e, err := c.cfg.DB.Lookup(profiledb.Key{ServerID: g.Spec.ID, WorkloadID: groupWs[i].ID}); err == nil {
+			perServer = e.PeakEffW
+		}
+		demands[i] = float64(g.Count) * perServer
+		total += demands[i]
+	}
+	if total == 0 {
+		return make([]float64, len(groups))
+	}
+	for i := range demands {
+		demands[i] /= total
+	}
+	return demands
+}
+
+// allocate asks the policy for the PAR vector.
+func (c *Controller) allocate(groupWs []workload.Workload, supplyW float64) ([]float64, error) {
+	ctx := policy.Context{
+		Groups:         c.cfg.Rack.Groups(),
+		Workload:       groupWs[0],
+		GroupWorkloads: groupWs,
+		SupplyW:        supplyW,
+		DB:             c.cfg.DB,
+	}
+	if c.cfg.TryAllocation != nil {
+		ctx.TryAllocation = func(fracs []float64) (float64, error) {
+			return c.cfg.TryAllocation(supplyW, fracs)
+		}
+	}
+	fracs, err := c.cfg.Policy.Allocate(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocate: %w", err)
+	}
+	return fracs, nil
+}
+
+// Feedback folds one epoch's measured per-group samples back into the
+// database when the policy is adaptive (Algorithm 1 lines 8–10). Samples
+// are keyed by group index; every group runs w.
+func (c *Controller) Feedback(w workload.Workload, groupSamples map[int][]fit.Sample) error {
+	ws := make([]workload.Workload, c.cfg.Rack.NumGroups())
+	for i := range ws {
+		ws[i] = w
+	}
+	return c.FeedbackMixed(ws, groupSamples)
+}
+
+// FeedbackMixed is Feedback for mixed racks (one workload per group).
+func (c *Controller) FeedbackMixed(groupWs []workload.Workload, groupSamples map[int][]fit.Sample) error {
+	if !c.cfg.Policy.UpdatesDB() {
+		return nil
+	}
+	groups := c.cfg.Rack.Groups()
+	if len(groupWs) != len(groups) {
+		return fmt.Errorf("core: feedback: %d workloads for %d groups", len(groupWs), len(groups))
+	}
+	for idx, samples := range groupSamples {
+		if idx < 0 || idx >= len(groups) {
+			return fmt.Errorf("core: feedback: group index %d out of range", idx)
+		}
+		k := profiledb.Key{ServerID: groups[idx].Spec.ID, WorkloadID: groupWs[idx].ID}
+		if err := c.cfg.DB.AddFeedback(k, samples...); err != nil {
+			// A degenerate refit must not abort the run; the previous
+			// projection remains in force.
+			if errors.Is(err, profiledb.ErrFit) {
+				continue
+			}
+			return fmt.Errorf("core: feedback: %w", err)
+		}
+	}
+	return nil
+}
+
+// Rack exposes the controller's rack.
+func (c *Controller) Rack() *server.Rack { return c.cfg.Rack }
+
+// Policy exposes the active policy.
+func (c *Controller) Policy() policy.Policy { return c.cfg.Policy }
+
+// Epoch exposes the scheduling epoch length.
+func (c *Controller) Epoch() time.Duration { return c.cfg.Epoch }

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"greenhetero/internal/battery"
+	"greenhetero/internal/fit"
+	"greenhetero/internal/policy"
+	"greenhetero/internal/power"
+	"greenhetero/internal/profiledb"
+	"greenhetero/internal/server"
+	"greenhetero/internal/workload"
+)
+
+// truthProber profiles against the noiseless ground truth.
+type truthProber struct {
+	calls int
+}
+
+func (p *truthProber) TrainingRun(spec server.Spec, w workload.Workload) (TrainingResult, error) {
+	p.calls++
+	peakEff := workload.PeakEffW(spec, w)
+	res := TrainingResult{PeakEffW: peakEff}
+	for i := 0; i < 5; i++ {
+		pw := spec.IdleW + 1 + float64(i)/4*(peakEff-spec.IdleW-1)
+		res.Samples = append(res.Samples, fit.Sample{X: pw, Y: workload.Perf(spec, w, pw)})
+	}
+	return res, nil
+}
+
+// failingProber always errors.
+type failingProber struct{}
+
+func (failingProber) TrainingRun(server.Spec, workload.Workload) (TrainingResult, error) {
+	return TrainingResult{}, errors.New("meter offline")
+}
+
+func testRack(t *testing.T) *server.Rack {
+	t.Helper()
+	a, err := server.Lookup(server.XeonE52620)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := server.Lookup(server.CoreI54460)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := server.NewRack("test", server.Group{Spec: a, Count: 5}, server.Group{Spec: b, Count: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	bank, err := battery.New(battery.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Rack:        testRack(t),
+		DB:          profiledb.New(),
+		Policy:      policy.Solver{Adaptive: true},
+		Battery:     bank,
+		GridBudgetW: 1000,
+		Epoch:       15 * time.Minute,
+		Prober:      &truthProber{},
+	}
+}
+
+func mustWorkload(t *testing.T, id string) workload.Workload {
+	t.Helper()
+	w, err := workload.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewValidation(t *testing.T) {
+	base := testConfig(t)
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nil rack", func(c *Config) { c.Rack = nil }},
+		{"nil db", func(c *Config) { c.DB = nil }},
+		{"nil policy", func(c *Config) { c.Policy = nil }},
+		{"nil battery", func(c *Config) { c.Battery = nil }},
+		{"nil prober", func(c *Config) { c.Prober = nil }},
+		{"zero epoch", func(c *Config) { c.Epoch = 0 }},
+		{"negative grid", func(c *Config) { c.GridBudgetW = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mut(&cfg)
+			if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+	bad := base
+	bad.Alpha = 2
+	if _, err := New(bad); err == nil {
+		t.Error("alpha out of range should error")
+	}
+}
+
+func TestFirstStepRunsTrainingForAllGroups(t *testing.T) {
+	cfg := testConfig(t)
+	pb := &truthProber{}
+	cfg.Prober = pb
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mustWorkload(t, workload.SPECjbb)
+	dec, err := ctrl.Step(500, 1000, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.TrainingRun {
+		t.Error("first step should train")
+	}
+	if pb.calls != 2 {
+		t.Errorf("training calls = %d, want one per group", pb.calls)
+	}
+	if cfg.DB.Len() != 2 {
+		t.Errorf("db entries = %d, want 2", cfg.DB.Len())
+	}
+	// Second step must not retrain.
+	dec, err = ctrl.Step(500, 1000, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TrainingRun || pb.calls != 2 {
+		t.Errorf("retrained: %v calls %d", dec.TrainingRun, pb.calls)
+	}
+	// A new workload trains again.
+	if _, err := ctrl.Step(500, 1000, mustWorkload(t, workload.Canneal)); err != nil {
+		t.Fatal(err)
+	}
+	if pb.calls != 4 {
+		t.Errorf("calls = %d, want 4 after new workload", pb.calls)
+	}
+}
+
+func TestTrainingFailureSurfaces(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Prober = failingProber{}
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(500, 1000, mustWorkload(t, workload.SPECjbb)); err == nil {
+		t.Error("prober failure must surface")
+	}
+}
+
+func TestCaseAIsUnconstrained(t *testing.T) {
+	cfg := testConfig(t)
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mustWorkload(t, workload.SPECjbb)
+	dec, err := ctrl.Step(5000, 1000, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Case != power.CaseA || !dec.Unconstrained {
+		t.Errorf("case %v unconstrained %v, want A/true", dec.Case, dec.Unconstrained)
+	}
+	// PAR reported as demand shares: Xeon group demand dominates.
+	if dec.Fractions[0] <= dec.Fractions[1] {
+		t.Errorf("fractions = %v, want Xeon share larger", dec.Fractions)
+	}
+	// Surplus renewable charges the battery... but the bank starts
+	// full, so it is curtailed instead.
+	if dec.Plan.CurtailedW <= 0 {
+		t.Errorf("curtailed = %v, want surplus curtailment with a full bank", dec.Plan.CurtailedW)
+	}
+}
+
+func TestScarcityAllocatesWithPolicy(t *testing.T) {
+	cfg := testConfig(t)
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mustWorkload(t, workload.SPECjbb)
+	// Prime with two epochs, then a scarce one.
+	if _, err := ctrl.Step(700, 1100, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(700, 1100, w); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ctrl.Step(700, 1100, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Case != power.CaseB {
+		t.Fatalf("case = %v, want B", dec.Case)
+	}
+	if dec.Unconstrained {
+		t.Error("scarce epoch must be constrained")
+	}
+	if len(dec.Instructions) != 2 {
+		t.Fatalf("instructions = %d, want 2", len(dec.Instructions))
+	}
+	var sum float64
+	for _, f := range dec.Fractions {
+		sum += f
+	}
+	if sum <= 0 || sum > 1+1e-9 {
+		t.Errorf("fractions sum = %v", sum)
+	}
+	if dec.SupplyW <= 0 {
+		t.Errorf("supply = %v", dec.SupplyW)
+	}
+}
+
+func TestNegativeObservationRejected(t *testing.T) {
+	ctrl, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(-1, 100, mustWorkload(t, workload.SPECjbb)); err == nil {
+		t.Error("negative renewable must error")
+	}
+	if _, err := ctrl.Step(1, -100, mustWorkload(t, workload.SPECjbb)); err == nil {
+		t.Error("negative demand must error")
+	}
+}
+
+func TestFeedbackGatedByPolicy(t *testing.T) {
+	w := mustWorkload(t, workload.SPECjbb)
+	sample := fit.Sample{X: 120, Y: 500}
+
+	// Adaptive: feedback lands in the database.
+	cfg := testConfig(t)
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(500, 1000, w); err != nil {
+		t.Fatal(err)
+	}
+	before, err := cfg.DB.Lookup(profiledb.Key{ServerID: server.XeonE52620, WorkloadID: w.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Feedback(w, map[int][]fit.Sample{0: {sample, {X: 100, Y: 300}}}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cfg.DB.Lookup(profiledb.Key{ServerID: server.XeonE52620, WorkloadID: w.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Refits != before.Refits+1 {
+		t.Errorf("refits = %d, want %d", after.Refits, before.Refits+1)
+	}
+
+	// Non-adaptive: feedback is dropped.
+	cfgA := testConfig(t)
+	cfgA.Policy = policy.Solver{Adaptive: false}
+	ctrlA, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrlA.Step(500, 1000, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrlA.Feedback(w, map[int][]fit.Sample{0: {sample, {X: 100, Y: 300}}}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := cfgA.DB.Lookup(profiledb.Key{ServerID: server.XeonE52620, WorkloadID: w.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Refits != 0 {
+		t.Errorf("GreenHetero-a refits = %d, want 0", e.Refits)
+	}
+}
+
+func TestFeedbackBadGroupIndex(t *testing.T) {
+	cfg := testConfig(t)
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mustWorkload(t, workload.SPECjbb)
+	if _, err := ctrl.Step(500, 1000, w); err != nil {
+		t.Fatal(err)
+	}
+	err = ctrl.Feedback(w, map[int][]fit.Sample{7: {{X: 1, Y: 1}}})
+	if err == nil {
+		t.Error("out-of-range group index must error")
+	}
+}
+
+func TestRecoveryLockoutAfterDoD(t *testing.T) {
+	// Drain the bank to its floor, then verify the controller refuses
+	// to discharge again until the charge recovers.
+	cfg := testConfig(t)
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mustWorkload(t, workload.SPECjbb)
+	// Night: zero renewable, demand 900 W (below the 1000 W grid budget,
+	// leaving charging headroom). 4.8 kWh usable → ~21 epochs at 15 min;
+	// run 40 to pass the DoD point.
+	var sawGridChargeDuringLockout bool
+	for e := 0; e < 40; e++ {
+		atFloorBefore := cfg.Battery.AtDoD()
+		dec, err := ctrl.Step(0, 900, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if atFloorBefore && dec.Execution.BatteryToLoadW > 0 {
+			t.Fatalf("epoch %d: discharging from the DoD floor", e)
+		}
+		if dec.Execution.BatteryChargedW > 0 && dec.Execution.GridW > dec.Plan.LoadGridW-1e-9 {
+			sawGridChargeDuringLockout = true
+		}
+	}
+	if !cfg.Battery.AtDoD() && cfg.Battery.SoC() < 0.61 {
+		t.Errorf("bank SoC = %v; expected recharge above the floor", cfg.Battery.SoC())
+	}
+	if !sawGridChargeDuringLockout {
+		t.Error("grid never recharged the bank after DoD")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	cfg := testConfig(t)
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Rack() != cfg.Rack || ctrl.Policy().Name() != "GreenHetero" || ctrl.Epoch() != cfg.Epoch {
+		t.Error("accessor mismatch")
+	}
+}
+
+func TestManualPolicyThroughController(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Policy = &policy.Manual{}
+	rng := rand.New(rand.NewSource(5))
+	groups := cfg.Rack.Groups()
+	w := mustWorkload(t, workload.SPECjbb)
+	cfg.TryAllocation = func(supplyW float64, fracs []float64) (float64, error) {
+		var total float64
+		for i, g := range groups {
+			perServer := fracs[i] * supplyW / float64(g.Count)
+			total += float64(g.Count) * workload.Perf(g.Spec, w, perServer) * (1 + 0.01*rng.NormFloat64())
+		}
+		return total, nil
+	}
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime predictors, then force scarcity so Manual actually trials.
+	if _, err := ctrl.Step(600, 1100, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(600, 1100, w); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ctrl.Step(600, 1100, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Case == power.CaseA {
+		t.Fatal("expected scarcity")
+	}
+	var sum float64
+	for _, f := range dec.Fractions {
+		sum += f
+	}
+	if sum <= 0 {
+		t.Errorf("manual fractions = %v", dec.Fractions)
+	}
+}
+
+func TestStepMixedWorkloads(t *testing.T) {
+	cfg := testConfig(t)
+	pb := &truthProber{}
+	cfg.Prober = pb
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []workload.Workload{
+		mustWorkload(t, workload.SPECjbb),
+		mustWorkload(t, workload.Memcached),
+	}
+	dec, err := ctrl.StepMixed(600, 1000, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.TrainingRun || pb.calls != 2 {
+		t.Errorf("training = %v, calls %d", dec.TrainingRun, pb.calls)
+	}
+	// The database must key the Xeon group to SPECjbb and the i5 group
+	// to Memcached.
+	if !cfg.DB.Has(profiledb.Key{ServerID: server.XeonE52620, WorkloadID: workload.SPECjbb}) {
+		t.Error("missing xeon/specjbb entry")
+	}
+	if !cfg.DB.Has(profiledb.Key{ServerID: server.CoreI54460, WorkloadID: workload.Memcached}) {
+		t.Error("missing i5/memcached entry")
+	}
+	if cfg.DB.Len() != 2 {
+		t.Errorf("db entries = %d, want 2", cfg.DB.Len())
+	}
+	// Mismatched slice lengths and empty workloads are rejected.
+	if _, err := ctrl.StepMixed(600, 1000, ws[:1]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ctrl.StepMixed(600, 1000, []workload.Workload{{}, {}}); err == nil {
+		t.Error("empty workload should error")
+	}
+}
+
+func TestFeedbackMixedKeying(t *testing.T) {
+	cfg := testConfig(t)
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []workload.Workload{
+		mustWorkload(t, workload.SPECjbb),
+		mustWorkload(t, workload.Memcached),
+	}
+	if _, err := ctrl.StepMixed(600, 1000, ws); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.FeedbackMixed(ws, map[int][]fit.Sample{
+		1: {{X: 55, Y: 10}, {X: 60, Y: 12}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := cfg.DB.Lookup(profiledb.Key{ServerID: server.CoreI54460, WorkloadID: workload.Memcached})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Refits != 1 {
+		t.Errorf("refits = %d, want 1", e.Refits)
+	}
+	if err := ctrl.FeedbackMixed(ws[:1], nil); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

@@ -1,0 +1,194 @@
+// Package daemon runs the GreenHetero controller as a long-lived service
+// with an HTTP introspection API — the operational form a rack controller
+// takes in production (the paper's controller runs continuously at the
+// rack PDU). One scheduling epoch executes per wall-clock tick, and the
+// API exposes the live decision state:
+//
+//	GET /healthz   liveness
+//	GET /status    last epoch's decision + aggregates
+//	GET /history   recent epochs (ring buffer)
+//	GET /db        the performance-power database snapshot
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"greenhetero/internal/sim"
+)
+
+// Config assembles a daemon.
+type Config struct {
+	// Session is the stepwise simulation (or, in a real deployment, a
+	// session wrapping live telemetry).
+	Session *sim.Session
+	// Tick is the wall-clock interval per scheduling epoch. Simulated
+	// time is accelerated: a 15-minute epoch can tick every second.
+	Tick time.Duration
+	// HistoryLimit bounds the retained epoch ring (default 1024).
+	HistoryLimit int
+}
+
+// ErrBadConfig is returned by New for invalid configurations.
+var ErrBadConfig = errors.New("daemon: bad config")
+
+// Daemon is the running service. Create with New, then Start; Stop
+// shuts the scheduler loop down and waits for it.
+type Daemon struct {
+	session *sim.Session
+	tick    time.Duration
+	limit   int
+
+	mu      sync.RWMutex
+	history []sim.EpochResult
+	lastErr error
+	started bool
+	// soc and cycles snapshot the battery under the mutex: the bank
+	// itself is not safe to read while the loop steps it.
+	soc    float64
+	cycles int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates cfg and builds a stopped daemon.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Session == nil {
+		return nil, fmt.Errorf("%w: nil session", ErrBadConfig)
+	}
+	if cfg.Tick <= 0 {
+		return nil, fmt.Errorf("%w: tick %v", ErrBadConfig, cfg.Tick)
+	}
+	if cfg.HistoryLimit == 0 {
+		cfg.HistoryLimit = 1024
+	}
+	if cfg.HistoryLimit < 1 {
+		return nil, fmt.Errorf("%w: history limit %d", ErrBadConfig, cfg.HistoryLimit)
+	}
+	return &Daemon{
+		session: cfg.Session,
+		tick:    cfg.Tick,
+		limit:   cfg.HistoryLimit,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the scheduler loop. It may be called once.
+func (d *Daemon) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		return errors.New("daemon: already started")
+	}
+	d.started = true
+	go d.loop()
+	return nil
+}
+
+// Stop signals the loop and waits for it to exit. Safe to call once
+// after Start.
+func (d *Daemon) Stop() {
+	close(d.stop)
+	<-d.done
+}
+
+func (d *Daemon) loop() {
+	defer close(d.done)
+	ticker := time.NewTicker(d.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			er, err := d.session.Step()
+			d.mu.Lock()
+			if err != nil {
+				// Record and keep ticking: a transient failure (e.g. a
+				// dead sensor during training) must not kill the rack
+				// controller.
+				d.lastErr = err
+			} else {
+				d.lastErr = nil
+				d.history = append(d.history, er)
+				if over := len(d.history) - d.limit; over > 0 {
+					d.history = append(d.history[:0:0], d.history[over:]...)
+				}
+			}
+			d.soc = d.session.Bank().SoC()
+			d.cycles = d.session.Bank().Cycles()
+			d.mu.Unlock()
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// status is the /status document.
+type status struct {
+	Policy     string           `json:"policy"`
+	Workload   string           `json:"workload"`
+	Epochs     int              `json:"epochs"`
+	BatterySoC float64          `json:"batterySoC"`
+	Cycles     int              `json:"batteryCycles"`
+	DBEntries  int              `json:"dbEntries"`
+	LastError  string           `json:"lastError,omitempty"`
+	Last       *sim.EpochResult `json:"last,omitempty"`
+}
+
+// Handler returns the HTTP API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.RLock()
+		st := status{
+			Policy:     d.session.Policy(),
+			Workload:   d.session.WorkloadLabel(),
+			Epochs:     len(d.history),
+			BatterySoC: d.soc,
+			Cycles:     d.cycles,
+			DBEntries:  d.session.DB().Len(),
+		}
+		if d.lastErr != nil {
+			st.LastError = d.lastErr.Error()
+		}
+		if n := len(d.history); n > 0 {
+			last := d.history[n-1]
+			st.Last = &last
+		}
+		d.mu.RUnlock()
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /history", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.RLock()
+		out := append([]sim.EpochResult(nil), d.history...)
+		d.mu.RUnlock()
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /db", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.session.DB().Save(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,218 @@
+package enforcer
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"greenhetero/internal/battery"
+	"greenhetero/internal/power"
+	"greenhetero/internal/server"
+)
+
+func testRack(t *testing.T) *server.Rack {
+	t.Helper()
+	a, err := server.Lookup(server.XeonE52620)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := server.Lookup(server.CoreI54460)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := server.NewRack("test", server.Group{Spec: a, Count: 5}, server.Group{Spec: b, Count: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSPCInstructions(t *testing.T) {
+	rack := testRack(t)
+	var spc SPC
+	ins, err := spc.Instructions(rack, []float64{0.6, 0.4}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(ins))
+	}
+	// Groups are sorted by ID: e5-2620 first, i5-4460 second.
+	if ins[0].ServerID != server.XeonE52620 || ins[1].ServerID != server.CoreI54460 {
+		t.Errorf("instruction order: %+v", ins)
+	}
+	if math.Abs(ins[0].TargetW-120) > 1e-9 { // 0.6·1000/5
+		t.Errorf("group0 target = %v, want 120", ins[0].TargetW)
+	}
+	if ins[0].State.FreqMHz == 0 {
+		t.Error("120 W target should select a running state")
+	}
+	// Group 1 gets 80 W/server ≥ i5 peak-effective range → high state.
+	if ins[1].State.Watts <= 47 {
+		t.Errorf("group1 state = %+v, want a loaded state", ins[1].State)
+	}
+}
+
+func TestSPCSleepBelowIdle(t *testing.T) {
+	rack := testRack(t)
+	var spc SPC
+	ins, err := spc.Instructions(rack, []float64{0.05, 0}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 W per Xeon is below its lowest running state → sleep.
+	if ins[0].State.Name != "sleep" {
+		t.Errorf("state = %+v, want sleep", ins[0].State)
+	}
+	if ins[1].State.Name != "sleep" {
+		t.Errorf("zero fraction state = %+v, want sleep", ins[1].State)
+	}
+}
+
+func TestSPCValidation(t *testing.T) {
+	rack := testRack(t)
+	var spc SPC
+	if _, err := spc.Instructions(rack, []float64{1}, 100); !errors.Is(err, ErrFractionMismatch) {
+		t.Errorf("err = %v, want ErrFractionMismatch", err)
+	}
+	if _, err := spc.Instructions(rack, []float64{-0.1, 0.5}, 100); !errors.Is(err, ErrBadFraction) {
+		t.Errorf("err = %v, want ErrBadFraction", err)
+	}
+	if _, err := spc.Instructions(rack, []float64{0.7, 0.7}, 100); !errors.Is(err, ErrBadFraction) {
+		t.Errorf("sum > 1 err = %v, want ErrBadFraction", err)
+	}
+}
+
+func newPSC(t *testing.T) (*PSC, *battery.Bank) {
+	t.Helper()
+	bank, err := battery.New(battery.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	psc, err := NewPSC(bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return psc, bank
+}
+
+func TestNewPSCNil(t *testing.T) {
+	if _, err := NewPSC(nil); err == nil {
+		t.Error("nil bank should error")
+	}
+}
+
+func TestPSCApplyDischarge(t *testing.T) {
+	psc, bank := newPSC(t)
+	plan := power.Plan{Case: power.CaseB, LoadRenewableW: 600, LoadBatteryW: 400}
+	exec, err := psc.Apply(plan, 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.BatteryToLoadW != 400 {
+		t.Errorf("battery to load = %v, want 400", exec.BatteryToLoadW)
+	}
+	if exec.SupplyW != 1000 {
+		t.Errorf("supply = %v, want 1000", exec.SupplyW)
+	}
+	if math.Abs(bank.ChargeWh()-(12000-100)) > 1e-6 { // 400 W × 0.25 h
+		t.Errorf("bank = %v Wh", bank.ChargeWh())
+	}
+}
+
+func TestPSCApplyRenewableCharge(t *testing.T) {
+	psc, bank := newPSC(t)
+	bank.Discharge(4000, time.Hour) // make room
+	plan := power.Plan{Case: power.CaseA, LoadRenewableW: 500, ChargeRenewableW: 300}
+	exec, err := psc.Apply(plan, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.BatteryChargedW != 300 || exec.ChargeSource != battery.SourceRenewable {
+		t.Errorf("charge = %v from %v", exec.BatteryChargedW, exec.ChargeSource)
+	}
+	if exec.GridW != 0 {
+		t.Errorf("grid = %v, want 0", exec.GridW)
+	}
+}
+
+func TestPSCApplyGridChargeCountsGrid(t *testing.T) {
+	psc, bank := newPSC(t)
+	bank.Discharge(4800, time.Hour) // at DoD floor
+	plan := power.Plan{Case: power.CaseC, LoadGridW: 700, ChargeGridW: 300}
+	exec, err := psc.Apply(plan, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.ChargeSource != battery.SourceGrid {
+		t.Errorf("source = %v, want grid", exec.ChargeSource)
+	}
+	if exec.GridW != 1000 {
+		t.Errorf("grid = %v, want 1000", exec.GridW)
+	}
+}
+
+func TestPSCApplyRecapsAgainstLiveBank(t *testing.T) {
+	// The plan asks for more than the bank still holds: execution is
+	// capped, and supply falls accordingly.
+	psc, bank := newPSC(t)
+	bank.Discharge(4700, time.Hour) // only 100 Wh usable left
+	plan := power.Plan{Case: power.CaseC, LoadBatteryW: 800}
+	exec, err := psc.Apply(plan, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exec.BatteryToLoadW-100) > 1e-6 {
+		t.Errorf("battery to load = %v, want capped 100", exec.BatteryToLoadW)
+	}
+	if exec.SupplyW != exec.BatteryToLoadW {
+		t.Errorf("supply = %v, want %v", exec.SupplyW, exec.BatteryToLoadW)
+	}
+}
+
+func TestPSCApplyBadEpoch(t *testing.T) {
+	psc, _ := newPSC(t)
+	if _, err := psc.Apply(power.Plan{}, 0); err == nil {
+		t.Error("zero epoch should error")
+	}
+}
+
+// Property: an executed plan never draws more battery or grid power than
+// planned, and never supplies more than planned.
+func TestQuickExecutionWithinPlan(t *testing.T) {
+	f := func(renRaw, batRaw, gridRaw, chgRaw uint16, gridCharge bool) bool {
+		bank, err := battery.New(battery.DefaultConfig())
+		if err != nil {
+			return false
+		}
+		bank.Discharge(float64(batRaw%4000), time.Hour)
+		psc, err := NewPSC(bank)
+		if err != nil {
+			return false
+		}
+		plan := power.Plan{
+			LoadRenewableW: float64(renRaw % 2000),
+			LoadBatteryW:   float64(batRaw % 2000),
+			LoadGridW:      float64(gridRaw % 2000),
+		}
+		if gridCharge {
+			plan.ChargeGridW = float64(chgRaw % 1000)
+		} else {
+			plan.ChargeRenewableW = float64(chgRaw % 1000)
+		}
+		exec, err := psc.Apply(plan, 15*time.Minute)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		return exec.BatteryToLoadW <= plan.LoadBatteryW+eps &&
+			exec.BatteryChargedW <= plan.ChargeRenewableW+plan.ChargeGridW+eps &&
+			exec.GridW <= plan.LoadGridW+plan.ChargeGridW+eps &&
+			exec.SupplyW <= plan.SupplyW()+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+
+	"greenhetero/internal/policy"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/solver"
+	"greenhetero/internal/timeseries"
+	"greenhetero/internal/workload"
+)
+
+// AblationDBUpdate isolates Algorithm 1's runtime database updates:
+// GreenHetero vs GreenHetero-a on the diurnal 24h run, where load
+// intensity drifts away from the training-run operating point. Updates
+// should recover most of the drift-induced loss.
+func AblationDBUpdate(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	rack, err := comboRack("Comb1")
+	if err != nil {
+		return nil, err
+	}
+	tr, err := solar.DefaultHigh(2200)
+	if err != nil {
+		return nil, err
+	}
+	epochs := 96
+	if o.Quick {
+		epochs = 24
+	}
+	t := &Table{
+		ID:     "abl-dbupdate",
+		Title:  "Ablation: runtime database updates (GreenHetero vs GreenHetero-a), diurnal drift",
+		Header: []string{"Workload", "GreenHetero-a perf", "GreenHetero perf", "Update benefit"},
+	}
+	for _, wid := range []string{workload.SPECjbb, workload.Streamcluster, workload.WebSearch} {
+		cfg := sim.Config{
+			Rack:        rack,
+			Workload:    workloadByID(wid),
+			Solar:       tr,
+			Epochs:      epochs,
+			GridBudgetW: 1000,
+			Seed:        o.Seed,
+		}
+		results, err := sim.Compare(cfg, []policy.Policy{
+			policy.Solver{Adaptive: false},
+			policy.Solver{Adaptive: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		frozen := results["GreenHetero-a"].MeanPerf()
+		adaptive := results["GreenHetero"].MeanPerf()
+		t.Rows = append(t.Rows, []string{wid, fmtF(frozen, 0), fmtF(adaptive, 0), fmtX(adaptive / frozen)})
+	}
+	t.Notes = append(t.Notes, "expected: benefit > 1x — stale training-run projections mis-range the solver under load drift")
+	return t, nil
+}
+
+// AblationSolverGrid sweeps the solver's search granularity, bridging
+// from Manual's 10 % grid down to 0.5 %, on fixed projections.
+func AblationSolverGrid(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	rack, err := comboRack("Comb1")
+	if err != nil {
+		return nil, err
+	}
+	w := workloadByID(workload.SPECjbb)
+	models := make([]solver.GroupModel, 0, rack.NumGroups())
+	for _, g := range rack.Groups() {
+		g := g
+		models = append(models, solver.GroupModel{
+			Count:    g.Count,
+			IdleW:    g.Spec.IdleW,
+			PeakEffW: workload.PeakEffW(g.Spec, w),
+			Perf:     func(p float64) float64 { return workload.Perf(g.Spec, w, p) },
+		})
+	}
+	t := &Table{
+		ID:     "abl-solver",
+		Title:  "Ablation: solver grid granularity (SPECjbb truth surfaces, supply = 80% demand)",
+		Header: []string{"Grid step", "Refinement", "Objective", "Evaluations"},
+	}
+	// 80 % of demand: deep enough that allocation matters, shallow
+	// enough that the optimum is an off-grid interior/corner point
+	// (at deeper scarcity the optimum collapses to "run only the small
+	// group", which every granularity finds).
+	supply := rackAnchorW(rack) * 0.80
+	type variant struct {
+		name   string
+		opts   solver.Options
+		refine string
+	}
+	variants := []variant{
+		{"10%", solver.Options{GridStep: 0.10, RefinePasses: -1}, "off"},
+		{"10%", solver.Options{GridStep: 0.10}, "on"},
+		{"5%", solver.Options{GridStep: 0.05, RefinePasses: -1}, "off"},
+		{"1%", solver.Options{GridStep: 0.01, RefinePasses: -1}, "off"},
+		{"1%", solver.Options{GridStep: 0.01}, "on"},
+		{"0.5%", solver.Options{GridStep: 0.005}, "on"},
+	}
+	var base float64
+	for i, v := range variants {
+		res, err := solver.Optimize(models, supply, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = res.PredictedPerf
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, v.refine,
+			fmt.Sprintf("%.4f (%.2f%% over 10%% grid)", res.PredictedPerf, 100*(res.PredictedPerf/base-1)),
+			fmt.Sprintf("%d", res.Evaluations),
+		})
+	}
+	_ = o
+	t.Notes = append(t.Notes, "expected: monotone objective improvement at increasing evaluation cost; refinement recovers most of a coarse grid's loss")
+	return t, nil
+}
+
+// AblationPredictor compares three predictors on the fluctuating Low
+// trace: a naive last-value predictor (α=1, β≈0), the paper's trained
+// Holt, and the Holt-Winters seasonal extension (period = one day) —
+// both for one-step-ahead SSE on the raw trace and for end-to-end
+// performance through the controller.
+func AblationPredictor(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	tr, err := solar.DefaultLow(2200)
+	if err != nil {
+		return nil, err
+	}
+	const perDay = 96
+	// One-step-ahead SSE comparison on the raw trace.
+	trained, err := timeseries.Train(tr.Values)
+	if err != nil {
+		return nil, err
+	}
+	naiveSSE, err := timeseries.SSE(tr.Values, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	seasonal, err := timeseries.TrainSeasonal(tr.Values, perDay)
+	if err != nil {
+		return nil, err
+	}
+
+	rack, err := comboRack("Comb1")
+	if err != nil {
+		return nil, err
+	}
+	epochs := 96
+	if o.Quick {
+		epochs = 24
+	}
+	runWith := func(factory func() timeseries.Predictor) (float64, error) {
+		cfg := sim.Config{
+			Rack:             rack,
+			Workload:         workloadByID(workload.SPECjbb),
+			Solar:            tr,
+			Epochs:           epochs,
+			GridBudgetW:      1000,
+			Seed:             o.Seed,
+			PredictorFactory: factory,
+		}
+		res, err := sim.Run(withPolicy(cfg, policy.Solver{Adaptive: true}))
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanPerf(), nil
+	}
+	mustHolt := func(a, b float64) func() timeseries.Predictor {
+		return func() timeseries.Predictor {
+			h, err := timeseries.NewHolt(a, b)
+			if err != nil {
+				panic(err) // parameters validated above
+			}
+			return h
+		}
+	}
+	naivePerf, err := runWith(mustHolt(1, 1e-9))
+	if err != nil {
+		return nil, err
+	}
+	holtPerf, err := runWith(mustHolt(trained.Alpha, trained.Beta))
+	if err != nil {
+		return nil, err
+	}
+	hwPerf, err := runWith(func() timeseries.Predictor {
+		h, err := timeseries.NewHoltWinters(seasonal.Alpha, seasonal.Beta, seasonal.Gamma, perDay)
+		if err != nil {
+			panic(err) // parameters validated above
+		}
+		return h
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "abl-predictor",
+		Title:  "Ablation: naive vs Holt vs Holt-Winters predictors (Low trace)",
+		Header: []string{"Predictor", "Parameters", "1-step SSE", "Mean perf"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"naive last-value", "α=1.00 β=0.00", fmtF(naiveSSE, 0), fmtF(naivePerf, 0)},
+		[]string{"Holt (paper, trained)", fmt.Sprintf("α=%.2f β=%.2f", trained.Alpha, trained.Beta), fmtF(trained.SSE, 0), fmtF(holtPerf, 0)},
+		[]string{"Holt-Winters (seasonal ext.)", fmt.Sprintf("α=%.2f β=%.2f γ=%.2f m=%d", seasonal.Alpha, seasonal.Beta, seasonal.Gamma, perDay), fmtF(seasonal.SSE, 0), fmtF(hwPerf, 0)},
+	)
+	t.Notes = append(t.Notes,
+		"expected SSE ordering: Holt-Winters < Holt ≤ naive (solar is strongly diurnal)",
+		"end-to-end perf differences are modest: enforcement re-plans sources against measured power; only the PAR rides on the forecast",
+	)
+	return t, nil
+}
+
+// AblationNoise sweeps training-run measurement noise to show how the
+// adaptive updates insulate GreenHetero from bad initial profiles.
+func AblationNoise(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	rack, err := comboRack("Comb1")
+	if err != nil {
+		return nil, err
+	}
+	tr, err := scarcityTrace(defaultLadder, rackAnchorW(rack), perLevel(o))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "abl-noise",
+		Title:  "Ablation: training-run noise vs policy robustness (SPECjbb, scarcity ladder)",
+		Header: []string{"Training noise x", "GreenHetero-a perf", "GreenHetero perf", "Adaptive advantage"},
+	}
+	for _, noise := range []float64{1, 3, 6, 10} {
+		cfg := sim.Config{
+			Rack:          rack,
+			Workload:      workloadByID(workload.SPECjbb),
+			Solar:         tr,
+			Epochs:        tr.Len(),
+			GridBudgetW:   0,
+			InitialSoC:    0.6,
+			Seed:          o.Seed,
+			Intensity:     sim.ConstantIntensity(1),
+			TrainingNoise: noise,
+		}
+		results, err := sim.Compare(cfg, []policy.Policy{
+			policy.Solver{Adaptive: false},
+			policy.Solver{Adaptive: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		frozen := results["GreenHetero-a"].MeanPerfScarce()
+		adaptive := results["GreenHetero"].MeanPerfScarce()
+		t.Rows = append(t.Rows, []string{
+			fmtF(noise, 0), fmtF(frozen, 0), fmtF(adaptive, 0), fmtX(adaptive / frozen),
+		})
+	}
+	t.Notes = append(t.Notes, "expected: the adaptive advantage grows with training noise (Algorithm 1's rationale, §IV-B.5)")
+	return t, nil
+}
+
+// withPolicy returns cfg with the policy set (Config is a value type).
+func withPolicy(cfg sim.Config, p policy.Policy) sim.Config {
+	cfg.Policy = p
+	return cfg
+}

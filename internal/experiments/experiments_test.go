@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"abl-dbupdate", "abl-noise", "abl-predictor", "abl-solver",
+		"ext-cluster", "ext-mixed",
+		"fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig3", "fig6", "fig8", "fig9",
+		"tab1", "tab2", "tab3", "tab4",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("IDs()[%d] = %q, want %q", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", Options{}); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+// TestAllExperimentsProduceTables runs every registered experiment in
+// Quick mode and checks structural sanity (every row matches the header,
+// renders without error).
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := Run(id, Options{Quick: true})
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if tbl.ID != id {
+				t.Errorf("table id = %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row %d has %d cells, header %d", i, len(row), len(tbl.Header))
+				}
+			}
+			var buf bytes.Buffer
+			if _, err := tbl.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), id) {
+				t.Error("rendered output missing id")
+			}
+		})
+	}
+}
+
+// parseRatio converts "1.53x" cells back to floats.
+func parseRatio(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("parse ratio %q: %v", cell, err)
+	}
+	return v
+}
+
+func columnIndex(t *testing.T, tbl *Table, name string) int {
+	t.Helper()
+	for i, h := range tbl.Header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not in %v", name, tbl.Header)
+	return -1
+}
+
+func TestFigure3Shape(t *testing.T) {
+	tbl, err := Run("fig3", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the best-performance row; paper puts the optimum near 65 %.
+	perfCol := columnIndex(t, tbl, "Perf (norm. to 50%)")
+	epuCol := columnIndex(t, tbl, "EPU")
+	bestPerf, bestPAR := -1.0, ""
+	var epu50, epu100 float64
+	for _, row := range tbl.Rows {
+		perf, err := strconv.ParseFloat(row[perfCol], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perf > bestPerf {
+			bestPerf, bestPAR = perf, row[0]
+		}
+		switch row[0] {
+		case "50%":
+			epu50, err = strconv.ParseFloat(row[epuCol], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+		case "100%":
+			epu100, err = strconv.ParseFloat(row[epuCol], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if bestPAR != "65%" && bestPAR != "70%" && bestPAR != "60%" {
+		t.Errorf("optimum PAR = %s, paper ≈ 65%%", bestPAR)
+	}
+	if bestPerf < 1.3 || bestPerf > 1.8 {
+		t.Errorf("best perf = %v, paper ≈ 1.5x", bestPerf)
+	}
+	if epu50 < 0.80 || epu50 > 0.93 {
+		t.Errorf("EPU at 50%% = %v, paper ≈ 0.86", epu50)
+	}
+	if epu100 >= epu50 {
+		t.Errorf("EPU at 100%% (%v) should collapse below uniform (%v)", epu100, epu50)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig9 sweep")
+	}
+	tbl, err := Run("fig9", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghCol := columnIndex(t, tbl, "GreenHetero")
+	gaCol := columnIndex(t, tbl, "GreenHetero-a")
+	var sum float64
+	var best, worst string
+	bestV, worstV := -1.0, 99.0
+	for _, row := range tbl.Rows {
+		g := parseRatio(t, row[ghCol])
+		sum += g
+		if g > bestV {
+			bestV, best = g, row[0]
+		}
+		if g < worstV {
+			worstV, worst = g, row[0]
+		}
+		// Adaptive at least on par with frozen.
+		if ga := parseRatio(t, row[gaCol]); g < ga-0.05 {
+			t.Errorf("%s: GreenHetero %v below GreenHetero-a %v", row[0], g, ga)
+		}
+	}
+	mean := sum / float64(len(tbl.Rows))
+	if mean < 1.4 || mean > 1.9 {
+		t.Errorf("mean gain = %v, paper ≈ 1.6x", mean)
+	}
+	if best != "Streamcluster" {
+		t.Errorf("best workload = %s (%vx), paper: Streamcluster", best, bestV)
+	}
+	if worst != "Memcached" && worst != "Mcf" {
+		t.Errorf("worst workload = %s (%vx), paper: Memcached (1.2x)", worst, worstV)
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig13 sweep")
+	}
+	tbl, err := Run("fig13", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghCol := columnIndex(t, tbl, "GreenHetero")
+	gains := map[string]float64{}
+	for _, row := range tbl.Rows {
+		gains[row[0]] = parseRatio(t, row[ghCol])
+	}
+	// Near-homogeneous pairs benefit least (paper: ~3% for Comb2/Comb4).
+	for _, homog := range []string{"Comb2", "Comb4"} {
+		for _, hetero := range []string{"Comb1", "Comb5"} {
+			if gains[homog] >= gains[hetero] {
+				t.Errorf("%s gain %v ≥ %s gain %v; heterogeneous racks should benefit more",
+					homog, gains[homog], hetero, gains[hetero])
+			}
+		}
+	}
+	if gains["Comb1"] < 1.2 {
+		t.Errorf("Comb1 gain = %v, paper ≈ 1.5x", gains["Comb1"])
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig14 sweep")
+	}
+	tbl, err := Run("fig14", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghCol := columnIndex(t, tbl, "GreenHetero")
+	gains := map[string]float64{}
+	for _, row := range tbl.Rows {
+		gains[row[0]] = parseRatio(t, row[ghCol])
+	}
+	if gains["Srad_v1"] < 2.0 {
+		t.Errorf("Srad_v1 gain = %v, paper 4.6x — should dominate", gains["Srad_v1"])
+	}
+	for name, g := range gains {
+		if name == "Srad_v1" {
+			continue
+		}
+		if g > gains["Srad_v1"] {
+			t.Errorf("%s gain %v above Srad_v1 %v", name, g, gains["Srad_v1"])
+		}
+	}
+}
+
+func TestFigure12Monotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig12 sweep")
+	}
+	tbl, err := Run("fig12", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gainCol := columnIndex(t, tbl, "Gain")
+	first := parseRatio(t, tbl.Rows[0][gainCol])
+	last := parseRatio(t, tbl.Rows[len(tbl.Rows)-1][gainCol])
+	if first <= last {
+		t.Errorf("gain at tightest budget (%v) should exceed gain at loosest (%v)", first, last)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tbl, err := Run("tab3", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"### tab3", "| Policy |", "|---|", "| GreenHetero |"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + separator + 5 policies + blank/notes... at least 7 lines.
+	if len(lines) < 7 {
+		t.Errorf("markdown too short: %d lines", len(lines))
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"greenhetero/internal/battery"
+	"greenhetero/internal/policy"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/trace"
+	"greenhetero/internal/workload"
+)
+
+// runtimeDay runs the Fig. 8 / Fig. 11 scenario: a 24-hour SPECjbb run on
+// Comb1 under a solar trace, GreenHetero vs Uniform.
+func runtimeDay(id, title string, tr *trace.Trace, o Options) (*Table, error) {
+	rack, err := comboRack("Comb1")
+	if err != nil {
+		return nil, err
+	}
+	epochs := 96
+	if o.Quick {
+		epochs = 24
+	}
+	cfg := sim.Config{
+		Rack:        rack,
+		Workload:    workloadByID(workload.SPECjbb),
+		Solar:       tr,
+		Epochs:      epochs,
+		GridBudgetW: 1000,
+		Seed:        o.Seed,
+	}
+	results, err := sim.Compare(cfg, []policy.Policy{policy.Uniform{}, policy.Solver{Adaptive: true}})
+	if err != nil {
+		return nil, err
+	}
+	uni, gh := results["Uniform"], results["GreenHetero"]
+
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Hour", "Case", "Renewable(W)", "Supply(W)", "PAR", "Perf vs Uniform", "Batt out(W)", "Batt in(W)", "Grid(W)", "SoC"},
+	}
+	printEvery := 4
+	if o.Quick {
+		printEvery = 2
+	}
+	for i, e := range gh.Epochs {
+		if i%printEvery != 0 {
+			continue
+		}
+		ratio := 1.0
+		if uni.Epochs[i].Perf > 0 {
+			ratio = e.Perf / uni.Epochs[i].Perf
+		} else if e.Perf > 0 {
+			ratio = 99
+		}
+		par := 0.0
+		var fsum float64
+		for _, f := range e.Fractions {
+			fsum += f
+		}
+		if fsum > 0 {
+			par = e.Fractions[0] / fsum
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtF(float64(i)/4, 1),
+			e.Case.String(),
+			fmtF(e.RenewableW, 0),
+			fmtF(e.SupplyW, 0),
+			fmtF(par, 2),
+			fmtX(ratio),
+			fmtF(e.BatteryOutW, 0),
+			fmtF(e.BatteryInW, 0),
+			fmtF(e.GridW, 0),
+			fmtF(e.BatterySoC, 2),
+		})
+	}
+
+	scarceGain := gh.MeanPerfScarce() / uni.MeanPerfScarce()
+	var dodEpochs int
+	for _, e := range gh.Epochs {
+		if e.BatterySoC <= 0.605 {
+			dodEpochs++
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean scarce-epoch (Cases B/C) gain over Uniform = %.2fx", scarceGain),
+		fmt.Sprintf("mean PAR = %.0f%% (paper fig8 ≈ 58%%)", gh.MeanPAR()*100),
+		fmt.Sprintf("epochs at DoD floor = %d (%.1f h)", dodEpochs, float64(dodEpochs)/4),
+		fmt.Sprintf("grid energy: GreenHetero %.0f Wh, Uniform %.0f Wh", gh.GridEnergyWh(), uni.GridEnergyWh()),
+		fmt.Sprintf("battery cycles this day: %d → estimated lifetime %.1f years at the 1300-cycle rating",
+			gh.BatteryCycles, battery.LifetimeYears(gh.BatteryCycles, time.Duration(len(gh.Epochs))*15*time.Minute)),
+	)
+	return t, nil
+}
+
+// Figure8 reproduces the High-trace runtime experiment (Fig. 8):
+// per-epoch performance/PAR plus the battery and grid activity. Expected
+// shape: ≈1.5x over Uniform during Cases B/C, parity in Case A, one long
+// overnight discharge to DoD followed by grid takeover and charging.
+func Figure8(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	tr, err := solar.DefaultHigh(2200)
+	if err != nil {
+		return nil, err
+	}
+	return runtimeDay("fig8", "24h SPECjbb runtime on the High solar trace (GreenHetero vs Uniform)", tr, o)
+}
+
+// Figure11 reproduces the Low-trace runtime experiment (Fig. 11):
+// weaker, fluctuating generation causes more frequent battery activity
+// and smaller (≈1.2x) gains concentrated in Cases A/B.
+func Figure11(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	tr, err := solar.DefaultLow(2200)
+	if err != nil {
+		return nil, err
+	}
+	t, err := runtimeDay("fig11", "24h SPECjbb runtime on the Low solar trace (GreenHetero vs Uniform)", tr, o)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "expected vs fig8: more charge/discharge transitions, more grid usage (Fig. 11)")
+	return t, nil
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"greenhetero/internal/cost"
+	"greenhetero/internal/metrics"
+	"greenhetero/internal/policy"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/trace"
+	"greenhetero/internal/workload"
+)
+
+// Figure12 reproduces the grid-power-budget sweep (Fig. 12): SPECjbb on
+// Comb1 with drained batteries and no renewable generation, so the rack
+// runs entirely on a capped grid feed. The scarcer the budget, the larger
+// GreenHetero's advantage — which is how GreenHetero lets operators
+// under-provision the grid infrastructure (§V-B.4).
+func Figure12(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	rack, err := comboRack("Comb1")
+	if err != nil {
+		return nil, err
+	}
+	epochs := 24
+	if o.Quick {
+		epochs = 8
+	}
+	night, err := trace.New("night", expStart, epochStep, make([]float64, epochs))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Performance under different grid power budgets (batteries drained)",
+		Header: []string{"Grid budget (W)", "Uniform perf", "GreenHetero perf", "Gain", "Grid bill ($/day-equiv)"},
+	}
+	tariff := cost.DefaultTariff()
+	for _, budget := range []float64{500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400} {
+		cfg := sim.Config{
+			Rack:        rack,
+			Workload:    workloadByID(workload.SPECjbb),
+			Solar:       night,
+			Epochs:      epochs,
+			GridBudgetW: budget,
+			InitialSoC:  0.6,
+			Seed:        o.Seed,
+			Intensity:   sim.ConstantIntensity(1),
+		}
+		results, err := sim.Compare(cfg, []policy.Policy{policy.Uniform{}, policy.Solver{Adaptive: true}})
+		if err != nil {
+			return nil, err
+		}
+		uni := results["Uniform"].MeanPerf()
+		gh := results["GreenHetero"].MeanPerf()
+		gain := 0.0
+		if uni > 0 {
+			gain = gh / uni
+		} else if gh > 0 {
+			gain = 99
+		}
+		ghRes := results["GreenHetero"]
+		bill, err := cost.FromSeries(ghRes.GridSeriesW(), ghRes.EpochHours(), tariff)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtF(budget, 0), fmtF(uni, 0), fmtF(gh, 0), fmtX(gain),
+			fmt.Sprintf("%.2f (peak %.2fkW)", bill.Total, bill.PeakKW),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: gain shrinks as the budget approaches rack demand (abundance), grows under tight budgets",
+		"the paper reads this as GreenHetero enabling grid under-provisioning: every kW of peak feed avoided saves $13.61 in demand charges",
+	)
+	return t, nil
+}
+
+// Figure13 reproduces the server-combination comparison (Fig. 13):
+// SPECjbb across Comb1–Comb5 under the scarcity ladder, all five
+// policies. Paper shape: Comb2/Comb4 (similar power profiles) ≈ 1.0x —
+// effectively homogeneous racks; Comb1/Comb3 ≈ 1.5x; Comb5 (3 types)
+// ≈ 1.6x.
+func Figure13(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	t := &Table{
+		ID:     "fig13",
+		Title:  "SPECjbb performance across server combinations (vs Uniform)",
+		Header: append([]string{"Combination"}, policyOrder...),
+	}
+	// Every combination shares the same physical supply (the paper runs
+	// all combos on one testbed): the ladder is anchored to Comb1's
+	// SPECjbb demand. Racks with lighter demand (Comb2/Comb4) therefore
+	// sit in mild scarcity and behave near-homogeneously, while hungrier
+	// racks (Comb3/Comb5) are deep in scarcity where allocation matters.
+	w := workloadByID(workload.SPECjbb)
+	comb1, err := comboRack("Comb1")
+	if err != nil {
+		return nil, err
+	}
+	var anchor float64
+	for _, g := range comb1.Groups() {
+		anchor += float64(g.Count) * workload.PeakEffW(g.Spec, w)
+	}
+	// Slightly shallower than the fig9 ladder: the paper's combo sweep
+	// stays above total blackout even for the hungriest rack.
+	fig13Ladder := []float64{0.55, 0.65, 0.75, 0.85, 0.95}
+	tr, err := scarcityTrace(fig13Ladder, anchor, perLevel(o))
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range combos[:5] { // Comb6 is the GPU rack of fig14
+		rack, err := comboRack(c.name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := sim.Config{
+			Rack:        rack,
+			Workload:    w,
+			Solar:       tr,
+			Epochs:      tr.Len(),
+			GridBudgetW: 0,
+			InitialSoC:  0.6,
+			Seed:        o.Seed,
+			Intensity:   sim.ConstantIntensity(1),
+		}
+		results, err := sim.Compare(cfg, freshPolicies())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		base := results["Uniform"].MeanPerfScarce()
+		row := []string{c.name}
+		for _, p := range policyOrder {
+			row = append(row, fmtX(results[p].MeanPerfScarce()/base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: Comb2/Comb4 near 1x (near-homogeneous power profiles), Comb1/Comb3 ≈ 1.5x, Comb5 ≈ 1.6x",
+	)
+	return t, nil
+}
+
+// Figure14 reproduces the GPU-platform comparison (Fig. 14): the Comb6
+// rack (Xeon E5-2620 + Titan Xp) on the four Rodinia-style workloads.
+// Paper shape: Srad_v1 up to 4.6x (strong GPU affinity), average ≈ 2.5x,
+// Cfd smallest (CPU and GPU nearly tied).
+func Figure14(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	rack, err := comboRack("Comb6")
+	if err != nil {
+		return nil, err
+	}
+	// The GPU rack's scarcity band sits lower relative to nameplate
+	// because the Titan's idle floor dominates.
+	tr, err := scarcityTrace([]float64{0.45, 0.55, 0.65, 0.75}, rack.PeakW()*0.85, perLevel(o))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig14",
+		Title:  "Performance of Comb6 (CPU+GPU) for the heterogeneous-computing workloads (vs Uniform)",
+		Header: append([]string{"Workload"}, policyOrder...),
+	}
+	var gains []float64
+	for _, w := range workload.Comb6Set() {
+		cfg := sim.Config{
+			Rack:        rack,
+			Workload:    w,
+			Solar:       tr,
+			Epochs:      tr.Len(),
+			GridBudgetW: 0,
+			InitialSoC:  0.6,
+			Seed:        o.Seed,
+			Intensity:   sim.ConstantIntensity(1),
+		}
+		results, err := sim.Compare(cfg, freshPolicies())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.ID, err)
+		}
+		base := results["Uniform"].MeanPerfScarce()
+		row := []string{w.Name}
+		for _, p := range policyOrder {
+			row = append(row, fmtX(results[p].MeanPerfScarce()/base))
+		}
+		t.Rows = append(t.Rows, row)
+		gains = append(gains, results["GreenHetero"].MeanPerfScarce()/base)
+	}
+	mean, err := metrics.Mean(gains)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("GreenHetero mean gain = %.2fx (paper ≈ 2.5x); Srad_v1 should dominate (paper 4.6x), Cfd smallest", mean),
+	)
+	return t, nil
+}

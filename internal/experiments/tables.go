@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+
+	"greenhetero/internal/policy"
+	"greenhetero/internal/server"
+	"greenhetero/internal/workload"
+)
+
+// Table1 reproduces Table I: the evaluation workload catalog.
+func Table1(Options) (*Table, error) {
+	t := &Table{
+		ID:     "tab1",
+		Title:  "Workload description (Table I)",
+		Header: []string{"Workload", "Suite", "Performance metric", "Interactive", "GPU port"},
+	}
+	for _, w := range workload.Catalog() {
+		t.Rows = append(t.Rows, []string{
+			w.Name,
+			w.Suite.String(),
+			w.Metric,
+			boolYN(w.Interactive),
+			boolYN(w.GPUCapable()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"response-surface parameters (util/gamma/parallelism) are this reproduction's calibration; see DESIGN.md")
+	return t, nil
+}
+
+// Table2 reproduces Table II: the server catalog.
+func Table2(Options) (*Table, error) {
+	t := &Table{
+		ID:     "tab2",
+		Title:  "Server description (Table II)",
+		Header: []string{"Server type", "Frequency", "Sockets", "Cores", "Peak power", "Idle power", "DVFS states"},
+	}
+	for _, s := range server.Catalog() {
+		t.Rows = append(t.Rows, []string{
+			s.Model,
+			fmtF(s.BaseFreqMHz/1000, 1) + " GHz",
+			strconv.Itoa(s.Sockets),
+			strconv.Itoa(s.Cores),
+			fmtF(s.PeakW, 0) + "W",
+			fmtF(s.IdleW, 0) + "W",
+			strconv.Itoa(len(s.States())),
+		})
+	}
+	return t, nil
+}
+
+// Table3 reproduces Table III: the compared power-allocation policies.
+func Table3(Options) (*Table, error) {
+	descriptions := map[string]string{
+		"Uniform":       "allocate power to each server uniformly, heterogeneity-oblivious",
+		"Manual":        "statically try all allocations at 10% granularity, keep the best per supply level",
+		"GreenHetero-p": "allocate by descending energy efficiency from the database",
+		"GreenHetero-a": "database-driven solver without runtime database updates",
+		"GreenHetero":   "database-driven solver with adaptive runtime updates",
+	}
+	t := &Table{
+		ID:     "tab3",
+		Title:  "Power allocation policies (Table III)",
+		Header: []string{"Policy", "Updates DB", "Description"},
+	}
+	for _, p := range policy.All() {
+		t.Rows = append(t.Rows, []string{p.Name(), boolYN(p.UpdatesDB()), descriptions[p.Name()]})
+	}
+	return t, nil
+}
+
+// Table4 reproduces Table IV: the server combinations.
+func Table4(Options) (*Table, error) {
+	workloadsFor := func(name string) string {
+		if name == "Comb6" {
+			ids := make([]string, 0, 4)
+			for _, w := range workload.Comb6Set() {
+				ids = append(ids, w.Name)
+			}
+			return strings.Join(ids, ", ")
+		}
+		return "SPECjbb"
+	}
+	t := &Table{
+		ID:     "tab4",
+		Title:  "Server combinations (Table IV)",
+		Header: []string{"Combination", "Server types", "Servers", "Rack peak", "Workloads"},
+	}
+	for _, c := range combos {
+		rack, err := comboRack(c.name)
+		if err != nil {
+			return nil, err
+		}
+		models := make([]string, 0, len(c.servers))
+		for _, g := range rack.Groups() {
+			models = append(models, g.Spec.Model)
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name,
+			strings.Join(models, ", "),
+			strconv.Itoa(rack.Servers()),
+			fmtF(rack.PeakW(), 0) + "W",
+			workloadsFor(c.name),
+		})
+	}
+	return t, nil
+}
+
+func boolYN(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

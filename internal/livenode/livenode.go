@@ -1,0 +1,207 @@
+// Package livenode runs the GreenHetero control loop over the network
+// instead of in-process: each server is a telemetry agent that accepts
+// SPC power targets ("set") and reports meter readings ("sample"), and a
+// Prober drives training runs through the same wire protocol the Monitor
+// uses. Combined with core.Controller this is the paper's deployment
+// shape (Fig. 4) end to end — the only simulated part is the node's
+// response surface, which on real hardware is the machine itself.
+package livenode
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"greenhetero/internal/core"
+	"greenhetero/internal/fit"
+	"greenhetero/internal/server"
+	"greenhetero/internal/telemetry"
+	"greenhetero/internal/workload"
+)
+
+// Node simulates one server's node-local control: it holds the current
+// SPC power target, maps it through the spec's DVFS ladder, and reports
+// noisy meter readings of the resulting operating point. Safe for
+// concurrent use (the agent serves connections concurrently).
+type Node struct {
+	id   string
+	spec server.Spec
+	w    workload.Workload
+
+	mu        sync.Mutex
+	targetW   float64
+	intensity float64
+	rng       *rand.Rand
+}
+
+// NewNode builds a node running workload w at full intensity with no
+// power cap (ondemand behaviour until the first SPC target arrives).
+func NewNode(id string, spec server.Spec, w workload.Workload, seed int64) (*Node, error) {
+	if id == "" {
+		return nil, errors.New("livenode: empty id")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("livenode: %w", err)
+	}
+	if w.ID == "" {
+		return nil, errors.New("livenode: empty workload")
+	}
+	return &Node{
+		id:        id,
+		spec:      spec,
+		w:         w,
+		targetW:   spec.PeakW, // uncapped
+		intensity: 1,
+		rng:       rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+var (
+	_ telemetry.Sampler = (*Node)(nil)
+	_ telemetry.Setter  = (*Node)(nil)
+)
+
+// SetTarget implements telemetry.Setter: the SPC's power budget.
+func (n *Node) SetTarget(powerW float64) error {
+	if powerW < 0 {
+		return fmt.Errorf("livenode %s: negative target %v", n.id, powerW)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.targetW = powerW
+	return nil
+}
+
+// SetIntensity adjusts the node's load level (the sim's diurnal knob).
+func (n *Node) SetIntensity(i float64) error {
+	if !workload.ValidIntensity(i) {
+		return fmt.Errorf("livenode %s: intensity %v", n.id, i)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.intensity = i
+	return nil
+}
+
+// Sample implements telemetry.Sampler: one noisy meter reading at the
+// node's current operating point (actual draw, not the budget).
+func (n *Node) Sample() (telemetry.Reading, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	used := workload.UsedPowerWAt(n.spec, n.w, n.targetW, n.intensity)
+	perf := workload.PerfAt(n.spec, n.w, n.targetW, n.intensity)
+	noise := n.w.Noise()
+	powerNoisy := used * (1 + 0.01*n.rng.NormFloat64())
+	perfNoisy := perf * (1 + noise*n.rng.NormFloat64())
+	if powerNoisy < 0 {
+		powerNoisy = 0
+	}
+	if perfNoisy < 0 {
+		perfNoisy = 0
+	}
+	return telemetry.Reading{
+		NodeID:     n.id,
+		PowerW:     powerNoisy,
+		Perf:       perfNoisy,
+		UnixMillis: time.Now().UnixMilli(),
+	}, nil
+}
+
+// Prober implements core.Prober over live agents: training runs sweep one
+// node of the target group through its power band via "set", reading the
+// meter after each step — Fig. 7's training run, over TCP.
+type Prober struct {
+	// GroupAddrs maps a server configuration id to the agent addresses
+	// of that group's nodes; training uses the first node.
+	GroupAddrs map[string][]string
+	// Samples per training run (paper: 5). Zero means 5.
+	Samples int
+	// Timeout per wire operation. Zero means 2 s.
+	Timeout time.Duration
+}
+
+var _ core.Prober = (*Prober)(nil)
+
+// TrainingRun implements core.Prober.
+func (p *Prober) TrainingRun(spec server.Spec, w workload.Workload) (core.TrainingResult, error) {
+	addrs := p.GroupAddrs[spec.ID]
+	if len(addrs) == 0 {
+		return core.TrainingResult{}, fmt.Errorf("livenode: no agents for %s", spec.ID)
+	}
+	samples := p.Samples
+	if samples == 0 {
+		samples = 5
+	}
+	timeout := p.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	addr := addrs[0]
+	ctx := context.Background()
+
+	res := core.TrainingResult{Samples: make([]fit.Sample, 0, samples)}
+	for i := 0; i < samples; i++ {
+		frac := float64(i) / float64(samples-1)
+		target := spec.IdleW + 1 + frac*(spec.PeakW-spec.IdleW-1)
+		if err := telemetry.SetTarget(ctx, addr, target, timeout); err != nil {
+			return core.TrainingResult{}, fmt.Errorf("livenode: training set: %w", err)
+		}
+		reading, err := sampleOnce(ctx, addr, timeout)
+		if err != nil {
+			return core.TrainingResult{}, fmt.Errorf("livenode: training sample: %w", err)
+		}
+		res.Samples = append(res.Samples, fit.Sample{X: reading.PowerW, Y: reading.Perf})
+		if reading.PowerW > res.PeakEffW {
+			res.PeakEffW = reading.PowerW
+		}
+	}
+	// Restore the node to uncapped operation after profiling.
+	if err := telemetry.SetTarget(ctx, addr, spec.PeakW, timeout); err != nil {
+		return core.TrainingResult{}, fmt.Errorf("livenode: training restore: %w", err)
+	}
+	return res, nil
+}
+
+// sampleOnce reads one agent through a throwaway single-agent collector.
+func sampleOnce(ctx context.Context, addr string, timeout time.Duration) (telemetry.Reading, error) {
+	c, err := telemetry.NewCollector([]string{addr}, telemetry.WithTimeout(timeout))
+	if err != nil {
+		return telemetry.Reading{}, err
+	}
+	results, err := c.Collect(ctx)
+	if err != nil {
+		return telemetry.Reading{}, err
+	}
+	if results[0].Err != nil {
+		return telemetry.Reading{}, results[0].Err
+	}
+	return results[0].Reading, nil
+}
+
+// Enforce pushes SPC instructions to every node of each group: the
+// decision's per-server budget fans out over the wire.
+func Enforce(ctx context.Context, groupAddrs map[string][]string, instructions []InstructionTarget, timeout time.Duration) error {
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	var firstErr error
+	for _, ins := range instructions {
+		for _, addr := range groupAddrs[ins.ServerID] {
+			if err := telemetry.SetTarget(ctx, addr, ins.TargetW, timeout); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("livenode: enforce %s: %w", addr, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// InstructionTarget is the wire-relevant slice of an SPC instruction.
+type InstructionTarget struct {
+	// ServerID selects the group.
+	ServerID string
+	// TargetW is the per-server budget.
+	TargetW float64
+}

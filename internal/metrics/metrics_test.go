@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEPU(t *testing.T) {
+	tests := []struct {
+		name           string
+		used, supplied float64
+		want           float64
+	}{
+		{"perfect", 220, 220, 1},
+		{"uniform case study", 191, 220, 191.0 / 220},
+		{"all to one server", 81, 220, 81.0 / 220},
+		{"zero supply", 100, 0, 0},
+		{"negative used", -5, 100, 0},
+		{"overshoot clamped", 101, 100, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := EPU(tt.used, tt.supplied); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("EPU(%v, %v) = %v, want %v", tt.used, tt.supplied, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEpochEPU(t *testing.T) {
+	allocs := []Allocation{
+		{AllocatedW: 110, UsedW: 110},
+		{AllocatedW: 110, UsedW: 81},
+	}
+	got := EpochEPU(allocs, 220)
+	want := 191.0 / 220
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("EpochEPU = %v, want %v", got, want)
+	}
+	if got := EpochEPU(nil, 100); got != 0 {
+		t.Errorf("empty EpochEPU = %v, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got, err := Normalize([]float64{2, 4, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Error("zero base should error")
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3})
+	if err != nil || m != 2 {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, %v", g, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("Mean(nil) err = %v", err)
+	}
+	if _, err := GeoMean(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("GeoMean(nil) err = %v", err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean with zero should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 5 || s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestSpeedupOver(t *testing.T) {
+	got, err := SpeedupOver([]float64{3, 0, 5}, []float64{2, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1.5 || got[1] != 1 || !math.IsInf(got[2], 1) {
+		t.Errorf("SpeedupOver = %v", got)
+	}
+	if _, err := SpeedupOver([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+// Property: EPU is always in [0, 1].
+func TestQuickEPUBounds(t *testing.T) {
+	f := func(used, supply int32) bool {
+		e := EPU(float64(used), float64(supply))
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GeoMean of positive values lies within [min, max].
+func TestQuickGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vals[i] = float64(r) + 1
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		g, err := GeoMean(vals)
+		if err != nil {
+			return false
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

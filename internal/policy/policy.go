@@ -1,0 +1,324 @@
+// Package policy implements the five power-allocation policies compared
+// in the paper's evaluation (Table III):
+//
+//	Uniform       — heterogeneity-oblivious even split per server
+//	Manual        — tries every allocation at 10 % granularity on the
+//	                live system and keeps the best
+//	GreenHetero-p — greedy by energy-efficiency ordering from the database
+//	GreenHetero-a — database-driven solver without runtime updates
+//	GreenHetero   — database-driven solver with adaptive updates
+//
+// GreenHetero-a and GreenHetero share the same allocation logic; what
+// separates them is whether the simulator feeds runtime samples back into
+// the database (UpdatesDB), i.e. Algorithm 1 lines 8–10.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"greenhetero/internal/profiledb"
+	"greenhetero/internal/server"
+	"greenhetero/internal/solver"
+	"greenhetero/internal/workload"
+)
+
+// Context carries everything a policy may consult for one decision.
+type Context struct {
+	// Groups are the rack's server groups (sorted, from server.Rack).
+	Groups []server.Group
+	// Workload is the running workload.
+	Workload workload.Workload
+	// GroupWorkloads, when non-nil, assigns each rack group its own
+	// workload (mixed racks); it must have one entry per group. Nil
+	// means every group runs Workload.
+	GroupWorkloads []workload.Workload
+	// SupplyW is the epoch's power supply to split.
+	SupplyW float64
+	// DB is the performance-power database (used by the GreenHetero
+	// family; nil for Uniform).
+	DB *profiledb.DB
+	// TryAllocation evaluates a candidate PAR vector on the live system
+	// and returns its measured aggregate throughput. Only the Manual
+	// policy uses it — that is exactly how the paper's Manual baseline
+	// works (static trial of every 10 % split).
+	TryAllocation func(fractions []float64) (float64, error)
+}
+
+// Policy decides a PAR vector for one epoch.
+type Policy interface {
+	// Name is the Table III policy name.
+	Name() string
+	// UpdatesDB reports whether runtime feedback should refresh the
+	// database when this policy runs.
+	UpdatesDB() bool
+	// Allocate returns the PAR vector (one fraction per group, sum ≤ 1).
+	Allocate(ctx Context) ([]float64, error)
+}
+
+var (
+	// ErrNotProfiled is returned when the database lacks an entry for a
+	// (server, workload) pair — the caller must run a training run
+	// first (Algorithm 1 lines 3–5).
+	ErrNotProfiled = errors.New("policy: pair not profiled; training run required")
+	// ErrNoTryAllocation is returned when Manual runs without a live
+	// trial callback.
+	ErrNoTryAllocation = errors.New("policy: manual policy needs a TryAllocation callback")
+	// ErrBadContext is returned for contexts missing required fields.
+	ErrBadContext = errors.New("policy: bad context")
+)
+
+// Uniform is the heterogeneity-oblivious baseline.
+type Uniform struct{}
+
+var _ Policy = Uniform{}
+
+// Name implements Policy.
+func (Uniform) Name() string { return "Uniform" }
+
+// UpdatesDB implements Policy.
+func (Uniform) UpdatesDB() bool { return false }
+
+// Allocate splits the supply evenly per server.
+func (Uniform) Allocate(ctx Context) ([]float64, error) {
+	counts := make([]int, len(ctx.Groups))
+	for i, g := range ctx.Groups {
+		counts[i] = g.Count
+	}
+	return solver.UniformFractions(counts)
+}
+
+// Manual statically tries all allocations at 10 % granularity. "Static"
+// is the operative word: the trial sweep builds a fixed lookup table —
+// one winning ratio per coarse supply level — and replays it for the rest
+// of the run. The 10 % grid and the coarse supply bucketing are why the
+// paper calls Manual's PAR accuracy "very low" under time-varying supply
+// (§V-B.2), even though its trials run on the live system.
+type Manual struct {
+	table map[int][]float64
+}
+
+// manualBucketW is the supply quantization of Manual's lookup table.
+const manualBucketW = 100.0
+
+var _ Policy = (*Manual)(nil)
+
+// Name implements Policy.
+func (*Manual) Name() string { return "Manual" }
+
+// UpdatesDB implements Policy.
+func (*Manual) UpdatesDB() bool { return false }
+
+// Allocate enumerates the 10 % simplex grid via live trials the first
+// time each supply level is seen, then replays the table entry.
+func (m *Manual) Allocate(ctx Context) ([]float64, error) {
+	if len(ctx.Groups) == 0 {
+		return nil, fmt.Errorf("%w: no groups", ErrBadContext)
+	}
+	bucket := int(ctx.SupplyW/manualBucketW + 0.5)
+	if cached, ok := m.table[bucket]; ok {
+		if len(cached) != len(ctx.Groups) {
+			return nil, fmt.Errorf("%w: cached ratio for %d groups, rack has %d", ErrBadContext, len(cached), len(ctx.Groups))
+		}
+		return append([]float64(nil), cached...), nil
+	}
+	if ctx.TryAllocation == nil {
+		return nil, ErrNoTryAllocation
+	}
+	const step = 0.10
+	var best []float64
+	bestPerf := -1.0
+	try := func(fracs []float64) error {
+		perf, err := ctx.TryAllocation(fracs)
+		if err != nil {
+			return err
+		}
+		if perf > bestPerf {
+			bestPerf = perf
+			best = append(best[:0:0], fracs...)
+		}
+		return nil
+	}
+	switch len(ctx.Groups) {
+	case 1:
+		if err := try([]float64{1}); err != nil {
+			return nil, err
+		}
+	case 2:
+		for i := 0; i <= 10; i++ {
+			f := float64(i) * step
+			if err := try([]float64{f, 1 - f}); err != nil {
+				return nil, err
+			}
+		}
+	case 3:
+		for i := 0; i <= 10; i++ {
+			for j := 0; i+j <= 10; j++ {
+				f0, f1 := float64(i)*step, float64(j)*step
+				if err := try([]float64{f0, f1, 1 - f0 - f1}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d groups", ErrBadContext, len(ctx.Groups))
+	}
+	if m.table == nil {
+		m.table = make(map[int][]float64)
+	}
+	m.table[bucket] = append([]float64(nil), best...)
+	return best, nil
+}
+
+// Prioritized is GreenHetero-p: allocate by descending energy efficiency.
+type Prioritized struct{}
+
+var _ Policy = Prioritized{}
+
+// Name implements Policy.
+func (Prioritized) Name() string { return "GreenHetero-p" }
+
+// UpdatesDB implements Policy.
+func (Prioritized) UpdatesDB() bool { return false }
+
+// Allocate gives each group, in descending projected throughput-per-watt
+// order, its full demand until the supply runs out.
+func (Prioritized) Allocate(ctx Context) ([]float64, error) {
+	entries, err := dbEntries(ctx)
+	if err != nil {
+		return nil, err
+	}
+	type ranked struct {
+		idx int
+		eff float64
+	}
+	order := make([]ranked, len(ctx.Groups))
+	for i := range ctx.Groups {
+		order[i] = ranked{idx: i, eff: entries[i].EnergyEfficiency()}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].eff > order[b].eff })
+
+	fracs := make([]float64, len(ctx.Groups))
+	remaining := ctx.SupplyW
+	for _, r := range order {
+		if remaining <= 0 {
+			break
+		}
+		g := ctx.Groups[r.idx]
+		demand := float64(g.Count) * entries[r.idx].PeakEffW
+		grant := demand
+		if grant > remaining {
+			grant = remaining
+		}
+		fracs[r.idx] = grant / ctx.SupplyW
+		remaining -= grant
+	}
+	return fracs, nil
+}
+
+// Solver is the GreenHetero / GreenHetero-a allocator: the database-driven
+// PAR optimizer of §IV-B.3.
+type Solver struct {
+	// Adaptive selects between GreenHetero (true: runtime database
+	// updates) and GreenHetero-a (false).
+	Adaptive bool
+	// Options tunes the underlying search; zero value uses defaults.
+	Options solver.Options
+}
+
+var _ Policy = Solver{}
+
+// Name implements Policy.
+func (s Solver) Name() string {
+	if s.Adaptive {
+		return "GreenHetero"
+	}
+	return "GreenHetero-a"
+}
+
+// UpdatesDB implements Policy.
+func (s Solver) UpdatesDB() bool { return s.Adaptive }
+
+// Allocate runs the PAR optimizer over the database projections.
+func (s Solver) Allocate(ctx Context) ([]float64, error) {
+	entries, err := dbEntries(ctx)
+	if err != nil {
+		return nil, err
+	}
+	models := make([]solver.GroupModel, len(ctx.Groups))
+	for i, g := range ctx.Groups {
+		e := entries[i]
+		models[i] = solver.GroupModel{
+			Count:    g.Count,
+			IdleW:    e.IdleW,
+			PeakEffW: e.PeakEffW,
+			Perf:     e.Predict,
+		}
+	}
+	res, err := solver.Optimize(models, ctx.SupplyW, s.Options)
+	if err != nil {
+		return nil, fmt.Errorf("policy %s: %w", s.Name(), err)
+	}
+	return res.Fractions, nil
+}
+
+// workloadFor resolves group i's workload under the mixed-rack option.
+func (c Context) workloadFor(i int) (workload.Workload, error) {
+	if c.GroupWorkloads == nil {
+		return c.Workload, nil
+	}
+	if len(c.GroupWorkloads) != len(c.Groups) {
+		return workload.Workload{}, fmt.Errorf("%w: %d group workloads for %d groups",
+			ErrBadContext, len(c.GroupWorkloads), len(c.Groups))
+	}
+	return c.GroupWorkloads[i], nil
+}
+
+// dbEntries fetches the database entry for every group, or ErrNotProfiled.
+func dbEntries(ctx Context) ([]profiledb.Entry, error) {
+	if len(ctx.Groups) == 0 {
+		return nil, fmt.Errorf("%w: no groups", ErrBadContext)
+	}
+	if ctx.DB == nil {
+		return nil, fmt.Errorf("%w: nil database", ErrBadContext)
+	}
+	out := make([]profiledb.Entry, len(ctx.Groups))
+	for i, g := range ctx.Groups {
+		w, err := ctx.workloadFor(i)
+		if err != nil {
+			return nil, err
+		}
+		k := profiledb.Key{ServerID: g.Spec.ID, WorkloadID: w.ID}
+		e, err := ctx.DB.Lookup(k)
+		if err != nil {
+			if errors.Is(err, profiledb.ErrNotFound) {
+				return nil, fmt.Errorf("%w: %s", ErrNotProfiled, k)
+			}
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// All returns the five Table III policies in presentation order.
+func All() []Policy {
+	return []Policy{
+		Uniform{},
+		&Manual{},
+		Prioritized{},
+		Solver{Adaptive: false},
+		Solver{Adaptive: true},
+	}
+}
+
+// ByName resolves a Table III policy name.
+func ByName(name string) (Policy, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q", name)
+}

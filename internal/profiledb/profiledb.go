@@ -1,0 +1,310 @@
+// Package profiledb implements the GreenHetero performance-power database
+// (paper §IV-B.2, Fig. 7): for every (server configuration, workload)
+// pair it holds profiled (power, performance) samples and a quadratic
+// curve fit Perf = f(Power) used by the Solver as a performance
+// projection.
+//
+// Entries are created by a training run (the first time a workload meets
+// a configuration, Algorithm 1 lines 4–5) and refreshed each epoch with
+// feedback samples, re-fitting the curve over new and old samples
+// together (lines 7–10). The store is safe for concurrent use: the
+// Monitor writes feedback while the Scheduler reads projections.
+package profiledb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"greenhetero/internal/fit"
+)
+
+// Key identifies one (server configuration, workload) pair.
+type Key struct {
+	ServerID   string `json:"serverId"`
+	WorkloadID string `json:"workloadId"`
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return k.ServerID + "/" + k.WorkloadID }
+
+// Entry is one database row: the retained samples and the current fit.
+type Entry struct {
+	// Key identifies the pair.
+	Key Key `json:"key"`
+	// IdleW and PeakEffW bound the projection's validity: below IdleW
+	// the projection is 0, above PeakEffW it is constant (paper
+	// §IV-B.3 clamping semantics).
+	IdleW    float64 `json:"idleW"`
+	PeakEffW float64 `json:"peakEffW"`
+	// Samples are the retained (power, perf) observations, oldest first.
+	Samples []fit.Sample `json:"samples"`
+	// Curve is the current quadratic projection.
+	Curve fit.Poly `json:"curve"`
+	// Refits counts how many times the curve was reconstructed.
+	Refits int `json:"refits"`
+}
+
+// Predict evaluates the projection with the paper's clamping: zero below
+// idle power, constant beyond the effective peak, floored at zero
+// (a noisy fit must never project negative throughput).
+func (e *Entry) Predict(powerW float64) float64 {
+	if powerW < e.IdleW {
+		return 0
+	}
+	if powerW > e.PeakEffW {
+		powerW = e.PeakEffW
+	}
+	v := e.Curve.Eval(powerW)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// EnergyEfficiency is the projected throughput per watt at the effective
+// peak, the ranking key of the GreenHetero-p policy.
+func (e *Entry) EnergyEfficiency() float64 {
+	if e.PeakEffW <= 0 {
+		return 0
+	}
+	return e.Predict(e.PeakEffW) / e.PeakEffW
+}
+
+var (
+	// ErrNotFound is returned when a pair has no entry yet — the signal
+	// to start a training run (Algorithm 1 line 3).
+	ErrNotFound = errors.New("profiledb: entry not found")
+	// ErrBadEntry is returned for invalid entry parameters.
+	ErrBadEntry = errors.New("profiledb: bad entry")
+	// ErrFit wraps curve-fitting failures.
+	ErrFit = errors.New("profiledb: fit failed")
+)
+
+// DB is the thread-safe store.
+type DB struct {
+	mu         sync.RWMutex
+	entries    map[Key]*Entry
+	maxSamples int
+}
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithMaxSamples caps retained samples per entry (oldest evicted first).
+// The default is 64; the cap keeps refits cheap and lets the projection
+// track drift.
+func WithMaxSamples(n int) Option {
+	return func(db *DB) {
+		if n > 0 {
+			db.maxSamples = n
+		}
+	}
+}
+
+// New creates an empty database.
+func New(opts ...Option) *DB {
+	db := &DB{
+		entries:    make(map[Key]*Entry),
+		maxSamples: 64,
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// Len reports the number of entries.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Keys returns all keys, sorted for determinism.
+func (db *DB) Keys() []Key {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]Key, 0, len(db.entries))
+	for k := range db.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ServerID != keys[j].ServerID {
+			return keys[i].ServerID < keys[j].ServerID
+		}
+		return keys[i].WorkloadID < keys[j].WorkloadID
+	})
+	return keys
+}
+
+// Lookup returns a copy of the entry for k, or ErrNotFound.
+func (db *DB) Lookup(k Key) (Entry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[k]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, k)
+	}
+	return copyEntry(e), nil
+}
+
+// Has reports whether the pair has been profiled (Algorithm 1 line 3).
+func (db *DB) Has(k Key) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.entries[k]
+	return ok
+}
+
+// AddTrainingRun creates (or replaces) the entry for k from a training
+// run's samples, fitting the initial quadratic projection.
+func (db *DB) AddTrainingRun(k Key, idleW, peakEffW float64, samples []fit.Sample) error {
+	if k.ServerID == "" || k.WorkloadID == "" {
+		return fmt.Errorf("%w: empty key", ErrBadEntry)
+	}
+	if idleW <= 0 || peakEffW <= idleW {
+		return fmt.Errorf("%w: power range idle %v peakEff %v", ErrBadEntry, idleW, peakEffW)
+	}
+	curve, err := fitCurve(samples)
+	if err != nil {
+		return fmt.Errorf("training run %s: %w", k, err)
+	}
+	e := &Entry{
+		Key:      k,
+		IdleW:    idleW,
+		PeakEffW: peakEffW,
+		Samples:  append([]fit.Sample(nil), samples...),
+		Curve:    curve,
+	}
+	db.trim(e)
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries[k] = e
+	return nil
+}
+
+// AddFeedback appends runtime feedback samples and reconstructs the
+// projection over old and new samples together (Algorithm 1 lines 8–10).
+func (db *DB) AddFeedback(k Key, samples ...fit.Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.entries[k]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, k)
+	}
+	e.Samples = append(e.Samples, samples...)
+	db.trim(e)
+	// A feedback draw beyond the believed effective peak means the
+	// workload's demand grew (e.g. load intensity rose since the
+	// training run): widen the projection's validity range. The range
+	// never shrinks — under power scarcity the rack only observes
+	// throttled draws, which say nothing about true demand.
+	for _, s := range samples {
+		if s.X > e.PeakEffW {
+			e.PeakEffW = s.X
+		}
+	}
+	curve, err := fitCurve(e.Samples)
+	if err != nil {
+		// Degenerate feedback (e.g. repeated identical power points
+		// after eviction) must not corrupt the existing projection.
+		return fmt.Errorf("refit %s: %w", k, err)
+	}
+	e.Curve = curve
+	e.Refits++
+	return nil
+}
+
+// trim evicts the oldest samples beyond maxSamples.
+func (db *DB) trim(e *Entry) {
+	if over := len(e.Samples) - db.maxSamples; over > 0 {
+		e.Samples = append(e.Samples[:0:0], e.Samples[over:]...)
+	}
+}
+
+// fitCurve fits the quadratic projection, falling back to linear when
+// only three or fewer distinct samples exist.
+func fitCurve(samples []fit.Sample) (fit.Poly, error) {
+	if len(samples) >= 4 {
+		if p, err := fit.Quadratic(samples); err == nil {
+			return p, nil
+		}
+	}
+	p, err := fit.Linear(samples)
+	if err != nil {
+		return fit.Poly{}, fmt.Errorf("%w: %v", ErrFit, err)
+	}
+	return p, nil
+}
+
+func copyEntry(e *Entry) Entry {
+	out := *e
+	out.Samples = append([]fit.Sample(nil), e.Samples...)
+	out.Curve.Coeffs = append([]float64(nil), e.Curve.Coeffs...)
+	return out
+}
+
+// snapshot is the JSON wire form of the database.
+type snapshot struct {
+	MaxSamples int     `json:"maxSamples"`
+	Entries    []Entry `json:"entries"`
+}
+
+// Save writes the database as JSON.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	snap := snapshot{MaxSamples: db.maxSamples, Entries: make([]Entry, 0, len(db.entries))}
+	for _, k := range db.keysLocked() {
+		snap.Entries = append(snap.Entries, copyEntry(db.entries[k]))
+	}
+	db.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("profiledb: save: %w", err)
+	}
+	return nil
+}
+
+// keysLocked returns sorted keys; caller must hold at least RLock.
+func (db *DB) keysLocked() []Key {
+	keys := make([]Key, 0, len(db.entries))
+	for k := range db.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ServerID != keys[j].ServerID {
+			return keys[i].ServerID < keys[j].ServerID
+		}
+		return keys[i].WorkloadID < keys[j].WorkloadID
+	})
+	return keys
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("profiledb: load: %w", err)
+	}
+	db := New(WithMaxSamples(snap.MaxSamples))
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i := range snap.Entries {
+		e := snap.Entries[i]
+		if e.Key.ServerID == "" || e.Key.WorkloadID == "" {
+			return nil, fmt.Errorf("%w: entry %d has empty key", ErrBadEntry, i)
+		}
+		db.entries[e.Key] = &e
+	}
+	return db, nil
+}

@@ -1,0 +1,192 @@
+// Package scenario loads simulation scenarios from JSON files, so
+// operators can describe racks (including mixed per-group workloads),
+// traces, and power infrastructure declaratively instead of through CLI
+// flags:
+//
+//	{
+//	  "name": "mixed-rack-demo",
+//	  "groups": [
+//	    {"server": "e5-2620", "count": 5, "workload": "specjbb"},
+//	    {"server": "i5-4460", "count": 5, "workload": "memcached"}
+//	  ],
+//	  "policy": "GreenHetero",
+//	  "solar": {"profile": "high", "peakWatts": 2200, "days": 7, "seed": 1},
+//	  "epochs": 96,
+//	  "gridBudgetW": 1000,
+//	  "initialSoC": 1.0,
+//	  "seed": 7
+//	}
+//
+// A "traceFile" path (CSV written by ghtrace) may replace the "solar"
+// generator block.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"greenhetero/internal/policy"
+	"greenhetero/internal/server"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/trace"
+	"greenhetero/internal/workload"
+)
+
+// GroupSpec is one rack group in the scenario file.
+type GroupSpec struct {
+	Server   string `json:"server"`
+	Count    int    `json:"count"`
+	Workload string `json:"workload"`
+}
+
+// SolarSpec configures the synthetic trace generator.
+type SolarSpec struct {
+	Profile   string  `json:"profile"`
+	PeakWatts float64 `json:"peakWatts"`
+	Days      int     `json:"days"`
+	Seed      int64   `json:"seed"`
+}
+
+// Scenario is the file schema.
+type Scenario struct {
+	Name        string      `json:"name"`
+	Groups      []GroupSpec `json:"groups"`
+	Policy      string      `json:"policy"`
+	Solar       *SolarSpec  `json:"solar,omitempty"`
+	TraceFile   string      `json:"traceFile,omitempty"`
+	Epochs      int         `json:"epochs"`
+	GridBudgetW float64     `json:"gridBudgetW"`
+	InitialSoC  float64     `json:"initialSoC,omitempty"`
+	Seed        int64       `json:"seed,omitempty"`
+}
+
+// ErrBadScenario is returned for structurally invalid scenarios.
+var ErrBadScenario = errors.New("scenario: bad scenario")
+
+// Parse decodes a scenario document.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadFile reads and parses a scenario file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+func (sc *Scenario) validate() error {
+	switch {
+	case sc.Name == "":
+		return fmt.Errorf("%w: missing name", ErrBadScenario)
+	case len(sc.Groups) == 0:
+		return fmt.Errorf("%w: no groups", ErrBadScenario)
+	case sc.Epochs < 1:
+		return fmt.Errorf("%w: epochs %d", ErrBadScenario, sc.Epochs)
+	case sc.Policy == "":
+		return fmt.Errorf("%w: missing policy", ErrBadScenario)
+	case sc.Solar == nil && sc.TraceFile == "":
+		return fmt.Errorf("%w: need solar generator or traceFile", ErrBadScenario)
+	case sc.Solar != nil && sc.TraceFile != "":
+		return fmt.Errorf("%w: solar and traceFile are mutually exclusive", ErrBadScenario)
+	}
+	return nil
+}
+
+// Build resolves the scenario into a runnable simulation config.
+func (sc *Scenario) Build() (sim.Config, error) {
+	groups := make([]server.Group, 0, len(sc.Groups))
+	groupWs := make([]workload.Workload, 0, len(sc.Groups))
+	for i, g := range sc.Groups {
+		spec, err := server.Lookup(g.Server)
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("scenario: group %d: %w", i, err)
+		}
+		w, err := workload.Lookup(g.Workload)
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("scenario: group %d: %w", i, err)
+		}
+		groups = append(groups, server.Group{Spec: spec, Count: g.Count})
+		groupWs = append(groupWs, w)
+	}
+	rack, err := server.NewRack(sc.Name, groups...)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	// NewRack sorts groups by server id; realign the workloads.
+	sorted := make([]workload.Workload, 0, len(groupWs))
+	for _, g := range rack.Groups() {
+		for i, spec := range sc.Groups {
+			if spec.Server == g.Spec.ID {
+				sorted = append(sorted, groupWs[i])
+				break
+			}
+		}
+	}
+
+	p, err := policy.ByName(sc.Policy)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("scenario: %w", err)
+	}
+
+	var tr *trace.Trace
+	switch {
+	case sc.Solar != nil:
+		profile, err := solar.ParseProfile(sc.Solar.Profile)
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("scenario: %w", err)
+		}
+		days := sc.Solar.Days
+		if days == 0 {
+			days = 7
+		}
+		tr, err = solar.Generate(solar.Config{
+			Profile:   profile,
+			PeakWatts: sc.Solar.PeakWatts,
+			Days:      days,
+			Step:      15 * time.Minute,
+			Seed:      sc.Solar.Seed,
+		})
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("scenario: %w", err)
+		}
+	default:
+		f, err := os.Open(sc.TraceFile)
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("scenario: %w", err)
+		}
+		defer f.Close()
+		tr, err = trace.ReadCSV(f, sc.TraceFile, 15*time.Minute)
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("scenario: %w", err)
+		}
+	}
+
+	return sim.Config{
+		Rack:           rack,
+		GroupWorkloads: sorted,
+		Policy:         p,
+		Solar:          tr,
+		Epochs:         sc.Epochs,
+		GridBudgetW:    sc.GridBudgetW,
+		InitialSoC:     sc.InitialSoC,
+		Seed:           sc.Seed,
+	}, nil
+}

@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"greenhetero/internal/server"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/workload"
+)
+
+const validDoc = `{
+  "name": "mixed-rack-demo",
+  "groups": [
+    {"server": "e5-2620", "count": 5, "workload": "specjbb"},
+    {"server": "i5-4460", "count": 5, "workload": "memcached"}
+  ],
+  "policy": "GreenHetero",
+  "solar": {"profile": "high", "peakWatts": 2200, "days": 2, "seed": 1},
+  "epochs": 48,
+  "gridBudgetW": 1000,
+  "seed": 7
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	sc, err := Parse(strings.NewReader(validDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "mixed-rack-demo" || len(sc.Groups) != 2 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	cfg, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rack.Servers() != 10 {
+		t.Errorf("servers = %d", cfg.Rack.Servers())
+	}
+	if cfg.Policy.Name() != "GreenHetero" {
+		t.Errorf("policy = %s", cfg.Policy.Name())
+	}
+	if cfg.Solar.Len() != 2*96 {
+		t.Errorf("trace len = %d", cfg.Solar.Len())
+	}
+	// Group workloads realigned to the rack's sorted group order.
+	for i, g := range cfg.Rack.Groups() {
+		want := workload.SPECjbb
+		if g.Spec.ID == server.CoreI54460 {
+			want = workload.Memcached
+		}
+		if cfg.GroupWorkloads[i].ID != want {
+			t.Errorf("group %s workload = %s, want %s", g.Spec.ID, cfg.GroupWorkloads[i].ID, want)
+		}
+	}
+	// The config actually runs.
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 48 {
+		t.Errorf("epochs = %d", len(res.Epochs))
+	}
+}
+
+func TestParseRejectsBadDocs(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", "nope"},
+		{"unknown field", `{"name":"x","frobnicate":1}`},
+		{"missing name", `{"groups":[{"server":"e5-2620","count":1,"workload":"specjbb"}],"policy":"Uniform","epochs":1,"solar":{"profile":"high","peakWatts":1}}`},
+		{"no groups", `{"name":"x","groups":[],"policy":"Uniform","epochs":1,"solar":{"profile":"high","peakWatts":1}}`},
+		{"zero epochs", `{"name":"x","groups":[{"server":"e5-2620","count":1,"workload":"specjbb"}],"policy":"Uniform","epochs":0,"solar":{"profile":"high","peakWatts":1}}`},
+		{"missing policy", `{"name":"x","groups":[{"server":"e5-2620","count":1,"workload":"specjbb"}],"epochs":1,"solar":{"profile":"high","peakWatts":1}}`},
+		{"no trace source", `{"name":"x","groups":[{"server":"e5-2620","count":1,"workload":"specjbb"}],"policy":"Uniform","epochs":1}`},
+		{"both trace sources", `{"name":"x","groups":[{"server":"e5-2620","count":1,"workload":"specjbb"}],"policy":"Uniform","epochs":1,"solar":{"profile":"high","peakWatts":1},"traceFile":"x.csv"}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tt.doc)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestBuildRejectsUnknownRefs(t *testing.T) {
+	mk := func(mutate func(*Scenario)) *Scenario {
+		sc, err := Parse(strings.NewReader(validDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(sc)
+		return sc
+	}
+	tests := []struct {
+		name string
+		sc   *Scenario
+	}{
+		{"unknown server", mk(func(s *Scenario) { s.Groups[0].Server = "vax" })},
+		{"unknown workload", mk(func(s *Scenario) { s.Groups[0].Workload = "doom" })},
+		{"unknown policy", mk(func(s *Scenario) { s.Policy = "Oracle" })},
+		{"bad profile", mk(func(s *Scenario) { s.Solar.Profile = "wind" })},
+		{"zero count", mk(func(s *Scenario) { s.Groups[0].Count = 0 })},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.sc.Build(); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestLoadFileAndTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	// Write a trace CSV the scenario references.
+	tr, err := solar.Generate(solar.Config{
+		Profile: solar.Low, PeakWatts: 1500, Days: 1, Step: 15 * time.Minute, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.csv")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := `{
+  "name": "replay",
+  "groups": [{"server": "e5-2620", "count": 5, "workload": "specjbb"}],
+  "policy": "Uniform",
+  "traceFile": ` + jsonString(tracePath) + `,
+  "epochs": 24,
+  "gridBudgetW": 500
+}`
+	scPath := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(scPath, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadFile(scPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Solar.Len() != 96 {
+		t.Errorf("trace len = %d", cfg.Solar.Len())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	if !errors.Is(mustErr(t, sc, "/nonexistent/trace.csv"), os.ErrNotExist) {
+		t.Error("missing trace file should surface ErrNotExist")
+	}
+}
+
+func mustErr(t *testing.T, sc *Scenario, traceFile string) error {
+	t.Helper()
+	bad := *sc
+	bad.TraceFile = traceFile
+	_, err := bad.Build()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	return err
+}
+
+func jsonString(s string) string { return `"` + strings.ReplaceAll(s, `\`, `\\`) + `"` }

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the per-epoch record for external plotting (the
+// paper's figures are time series of exactly these columns).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"epoch", "case", "intensity", "renewable_w", "demand_w", "supply_w",
+		"grid_w", "battery_out_w", "battery_in_w", "battery_soc",
+		"par", "perf", "used_w", "epu", "training_run",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("sim: write csv header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, e := range r.Epochs {
+		par := 0.0
+		var sum float64
+		for _, fr := range e.Fractions {
+			sum += fr
+		}
+		if sum > 0 {
+			par = e.Fractions[0] / sum
+		}
+		rec := []string{
+			strconv.Itoa(e.Epoch),
+			e.Case.String(),
+			f(e.Intensity),
+			f(e.RenewableW),
+			f(e.DemandW),
+			f(e.SupplyW),
+			f(e.GridW),
+			f(e.BatteryOutW),
+			f(e.BatteryInW),
+			f(e.BatterySoC),
+			f(par),
+			f(e.Perf),
+			f(e.UsedW),
+			f(e.EPU),
+			strconv.FormatBool(e.TrainingRun),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("sim: write csv epoch %d: %w", e.Epoch, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sim: flush csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"greenhetero/internal/policy"
+	"greenhetero/internal/workload"
+)
+
+func TestMixedRackRuns(t *testing.T) {
+	// Group 0 (Xeons) runs SPECjbb, group 1 (i5s) runs Memcached: the
+	// database must hold one entry per (config, workload) pair and the
+	// solver must optimize across the two different curves.
+	cfg := baseConfig(t)
+	cfg.GroupWorkloads = []workload.Workload{
+		mustWorkload(t, workload.SPECjbb),
+		mustWorkload(t, workload.Memcached),
+	}
+	cfg.Workload = workload.Workload{} // ignored when GroupWorkloads set
+	cfg.Epochs = 48
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Workload, "mixed(") ||
+		!strings.Contains(res.Workload, workload.SPECjbb) ||
+		!strings.Contains(res.Workload, workload.Memcached) {
+		t.Errorf("label = %q", res.Workload)
+	}
+	if res.MeanPerf() <= 0 {
+		t.Errorf("mean perf = %v", res.MeanPerf())
+	}
+	// The run's database was fresh: training must have profiled exactly
+	// the two distinct (config, workload) pairs.
+	if !res.Epochs[0].TrainingRun {
+		t.Error("first epoch should train both pairs")
+	}
+}
+
+func TestMixedRackBeatsUniform(t *testing.T) {
+	// Mixed demand asymmetry (heavy Xeon SPECjbb vs light i5 Memcached)
+	// is exactly where heterogeneity-aware allocation helps.
+	rack := comb1Rack(t)
+	tr := scarcityLadder(t, []float64{0.45, 0.55, 0.65, 0.75, 0.85}, rack.PeakW()*0.75, 5)
+	cfg := Config{
+		Rack: rack,
+		GroupWorkloads: []workload.Workload{
+			mustWorkload(t, workload.SPECjbb),
+			mustWorkload(t, workload.Memcached),
+		},
+		Solar:       tr,
+		Epochs:      tr.Len(),
+		GridBudgetW: 0,
+		InitialSoC:  0.6,
+		Seed:        7,
+		Intensity:   ConstantIntensity(1),
+	}
+	results, err := Compare(cfg, []policy.Policy{policy.Uniform{}, policy.Solver{Adaptive: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := results["Uniform"].MeanPerfScarce()
+	gh := results["GreenHetero"].MeanPerfScarce()
+	if gh <= uni {
+		t.Errorf("mixed rack: GreenHetero %v not above Uniform %v", gh, uni)
+	}
+}
+
+func TestMixedValidation(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.GroupWorkloads = []workload.Workload{mustWorkload(t, workload.SPECjbb)} // 1 for 2 groups
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("length mismatch err = %v", err)
+	}
+	cfg.GroupWorkloads = []workload.Workload{{}, {}}
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty workload err = %v", err)
+	}
+}
+
+func TestWorkloadLabel(t *testing.T) {
+	jbb := mustWorkload(t, workload.SPECjbb)
+	mc := mustWorkload(t, workload.Memcached)
+	if got := workloadLabel([]workload.Workload{jbb, jbb}); got != workload.SPECjbb {
+		t.Errorf("same label = %q", got)
+	}
+	if got := workloadLabel([]workload.Workload{jbb, mc}); got != "mixed(specjbb+memcached)" {
+		t.Errorf("mixed label = %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Epochs = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+8 {
+		t.Fatalf("csv lines = %d, want 9", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "epoch,case,intensity") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for i, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != 15 {
+			t.Errorf("row %d has %d fields, want 15", i, got)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package telemetry implements the distributed Monitor plumbing of the
+// GreenHetero controller (paper §IV-A, Fig. 4): per-node sensor agents
+// that export power and performance readings, and a collector the
+// rack-level controller uses to gather them each epoch.
+//
+// The wire protocol is newline-delimited JSON over TCP — one request
+// object per line, one response object per line — matching the paper's
+// "measurements … gathered by the distributed sensors". The same
+// controller logic runs against in-process samplers in simulation and
+// against live agents in examples/livetelemetry.
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Reading is one sensor observation from a node.
+type Reading struct {
+	// NodeID identifies the reporting node (e.g. "rack1/e5-2620/3").
+	NodeID string `json:"nodeId"`
+	// PowerW is the node's measured power draw.
+	PowerW float64 `json:"powerW"`
+	// Perf is the node's measured application throughput.
+	Perf float64 `json:"perf"`
+	// UnixMillis timestamps the observation.
+	UnixMillis int64 `json:"unixMillis"`
+}
+
+// Sampler produces readings for an agent. Implementations must be safe
+// for concurrent use.
+type Sampler interface {
+	Sample() (Reading, error)
+}
+
+// SamplerFunc adapts a function to the Sampler interface.
+type SamplerFunc func() (Reading, error)
+
+// Sample implements Sampler.
+func (f SamplerFunc) Sample() (Reading, error) { return f() }
+
+// Setter receives enforcement commands: the SPC's per-server power
+// budget, which the node maps to a DVFS state (§IV-B.4). Agents whose
+// sampler also implements Setter accept the "set" op; sensors that only
+// measure reject it.
+type Setter interface {
+	SetTarget(powerW float64) error
+}
+
+// request is the wire request.
+type request struct {
+	Op string `json:"op"` // "sample", "ping", or "set"
+	// TargetW carries the power budget for "set".
+	TargetW float64 `json:"targetW,omitempty"`
+}
+
+// response is the wire response.
+type response struct {
+	OK      bool     `json:"ok"`
+	Error   string   `json:"error,omitempty"`
+	Reading *Reading `json:"reading,omitempty"`
+}
+
+// Agent is one node's sensor endpoint.
+type Agent struct {
+	sampler Sampler
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewAgent starts an agent listening on addr ("127.0.0.1:0" for an
+// ephemeral test port). Close must be called to release the listener.
+func NewAgent(addr string, sampler Sampler) (*Agent, error) {
+	if sampler == nil {
+		return nil, errors.New("telemetry: nil sampler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen: %w", err)
+	}
+	a := &Agent{
+		sampler: sampler,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr returns the agent's listen address.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the agent and waits for its goroutines to exit.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	for c := range a.conns {
+		_ = c.Close()
+	}
+	a.mu.Unlock()
+	err := a.ln.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		a.conns[conn] = struct{}{}
+		a.mu.Unlock()
+
+		a.wg.Add(1)
+		go a.serve(conn)
+	}
+}
+
+func (a *Agent) serve(conn net.Conn) {
+	defer a.wg.Done()
+	defer func() {
+		a.mu.Lock()
+		delete(a.conns, conn)
+		a.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	sc := bufio.NewScanner(conn)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req request
+		var resp response
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp = response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			switch req.Op {
+			case "ping":
+				resp = response{OK: true}
+			case "sample":
+				r, err := a.sampler.Sample()
+				if err != nil {
+					resp = response{Error: err.Error()}
+				} else {
+					resp = response{OK: true, Reading: &r}
+				}
+			case "set":
+				setter, ok := a.sampler.(Setter)
+				if !ok {
+					resp = response{Error: "node does not accept power targets"}
+				} else if err := setter.SetTarget(req.TargetW); err != nil {
+					resp = response{Error: err.Error()}
+				} else {
+					resp = response{OK: true}
+				}
+			default:
+				resp = response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+			}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Collector gathers readings from a set of agents.
+type Collector struct {
+	addrs   []string
+	timeout time.Duration
+}
+
+// CollectorOption configures a Collector.
+type CollectorOption func(*Collector)
+
+// WithTimeout sets the per-request dial/IO timeout (default 2 s).
+func WithTimeout(d time.Duration) CollectorOption {
+	return func(c *Collector) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// ErrNoAgents is returned when a collector is built without addresses.
+var ErrNoAgents = errors.New("telemetry: no agent addresses")
+
+// NewCollector builds a collector over the given agent addresses.
+func NewCollector(addrs []string, opts ...CollectorOption) (*Collector, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoAgents
+	}
+	c := &Collector{
+		addrs:   append([]string(nil), addrs...),
+		timeout: 2 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Result pairs an agent address with its reading or error.
+type Result struct {
+	Addr    string
+	Reading Reading
+	Err     error
+}
+
+// Collect polls every agent concurrently and returns one result per
+// agent, in address order. Individual agent failures are reported in the
+// corresponding Result; the method itself fails only on context
+// cancellation.
+func (c *Collector) Collect(ctx context.Context) ([]Result, error) {
+	results := make([]Result, len(c.addrs))
+	var wg sync.WaitGroup
+	for i, addr := range c.addrs {
+		i, addr := i, addr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.sampleOne(ctx, addr)
+			results[i] = Result{Addr: addr, Reading: r, Err: err}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+		return results, nil
+	case <-ctx.Done():
+		// Results are abandoned; goroutines unwind on their own
+		// deadlines (each dial/IO has c.timeout).
+		<-done
+		return nil, fmt.Errorf("telemetry: collect: %w", ctx.Err())
+	}
+}
+
+// sampleOne performs one request/response exchange with an agent.
+func (c *Collector) sampleOne(ctx context.Context, addr string) (Reading, error) {
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return Reading{}, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return Reading{}, fmt.Errorf("deadline %s: %w", addr, err)
+	}
+
+	if err := json.NewEncoder(conn).Encode(request{Op: "sample"}); err != nil {
+		return Reading{}, fmt.Errorf("send %s: %w", addr, err)
+	}
+	var resp response
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Reading{}, fmt.Errorf("recv %s: %w", addr, err)
+		}
+		return Reading{}, fmt.Errorf("recv %s: connection closed", addr)
+	}
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		return Reading{}, fmt.Errorf("decode %s: %w", addr, err)
+	}
+	if !resp.OK {
+		return Reading{}, fmt.Errorf("agent %s: %s", addr, resp.Error)
+	}
+	if resp.Reading == nil {
+		return Reading{}, fmt.Errorf("agent %s: ok response without reading", addr)
+	}
+	return *resp.Reading, nil
+}
+
+// SetTarget commands one agent to the given power budget (the wire form
+// of an SPC instruction).
+func SetTarget(ctx context.Context, addr string, powerW float64, timeout time.Duration) error {
+	resp, err := roundTrip(ctx, addr, request{Op: "set", TargetW: powerW}, timeout)
+	if err != nil {
+		return fmt.Errorf("telemetry: set %s: %w", addr, err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("telemetry: set %s: %s", addr, resp.Error)
+	}
+	return nil
+}
+
+// roundTrip performs one request/response exchange.
+func roundTrip(ctx context.Context, addr string, req request, timeout time.Duration) (response, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return response{}, fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return response{}, fmt.Errorf("deadline: %w", err)
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return response{}, fmt.Errorf("send: %w", err)
+	}
+	var resp response
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return response{}, fmt.Errorf("recv: %w", err)
+		}
+		return response{}, errors.New("recv: connection closed")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		return response{}, fmt.Errorf("decode: %w", err)
+	}
+	return resp, nil
+}
+
+// Ping checks one agent's liveness.
+func Ping(ctx context.Context, addr string, timeout time.Duration) error {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: ping %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return fmt.Errorf("telemetry: ping %s: %w", addr, err)
+	}
+	if err := json.NewEncoder(conn).Encode(request{Op: "ping"}); err != nil {
+		return fmt.Errorf("telemetry: ping %s: %w", addr, err)
+	}
+	var resp response
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		return fmt.Errorf("telemetry: ping %s: no response", addr)
+	}
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		return fmt.Errorf("telemetry: ping %s: %w", addr, err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("telemetry: ping %s: %s", addr, resp.Error)
+	}
+	return nil
+}

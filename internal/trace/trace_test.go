@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func mustNew(t *testing.T, values []float64) *Trace {
+	t.Helper()
+	tr, err := New("test", t0, 15*time.Minute, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", t0, 0, nil); !errors.Is(err, ErrBadStep) {
+		t.Errorf("err = %v, want ErrBadStep", err)
+	}
+	if _, err := New("x", t0, -time.Second, nil); !errors.Is(err, ErrBadStep) {
+		t.Errorf("err = %v, want ErrBadStep", err)
+	}
+}
+
+func TestNewCopiesValues(t *testing.T) {
+	src := []float64{1, 2, 3}
+	tr := mustNew(t, src)
+	src[0] = 99
+	if tr.Values[0] != 1 {
+		t.Error("New must copy its input slice")
+	}
+}
+
+func TestTimeAtAndDuration(t *testing.T) {
+	tr := mustNew(t, []float64{1, 2, 3, 4})
+	if got := tr.TimeAt(2); !got.Equal(t0.Add(30 * time.Minute)) {
+		t.Errorf("TimeAt(2) = %v", got)
+	}
+	if got := tr.Duration(); got != time.Hour {
+		t.Errorf("Duration() = %v, want 1h", got)
+	}
+}
+
+func TestAtClamping(t *testing.T) {
+	tr := mustNew(t, []float64{10, 20, 30})
+	tests := []struct {
+		i    int
+		want float64
+	}{{-5, 10}, {0, 10}, {1, 20}, {2, 30}, {99, 30}}
+	for _, tt := range tests {
+		if got := tr.At(tt.i); got != tt.want {
+			t.Errorf("At(%d) = %v, want %v", tt.i, got, tt.want)
+		}
+	}
+	empty := mustNew(t, nil)
+	if got := empty.At(0); got != 0 {
+		t.Errorf("empty At(0) = %v, want 0", got)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := mustNew(t, []float64{0, 1, 2, 3, 4, 5})
+	sub, err := tr.Slice(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 || sub.Values[0] != 2 {
+		t.Errorf("Slice = %+v", sub.Values)
+	}
+	if !sub.Start.Equal(t0.Add(30 * time.Minute)) {
+		t.Errorf("Slice start = %v", sub.Start)
+	}
+	if _, err := tr.Slice(4, 2); err == nil {
+		t.Error("inverted slice should error")
+	}
+	if _, err := tr.Slice(0, 99); err == nil {
+		t.Error("overflow slice should error")
+	}
+}
+
+func TestScaleAndClip(t *testing.T) {
+	tr := mustNew(t, []float64{-1, 0, 2})
+	s := tr.Scale(3)
+	if s.Values[2] != 6 || tr.Values[2] != 2 {
+		t.Errorf("Scale mutated input or wrong: %v", s.Values)
+	}
+	c := tr.Clip(0, 1)
+	want := []float64{0, 0, 1}
+	for i := range want {
+		if c.Values[i] != want[i] {
+			t.Errorf("Clip[%d] = %v, want %v", i, c.Values[i], want[i])
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	tr := mustNew(t, []float64{1, 3, 5, 7, 9})
+	d, err := tr.Downsample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 9} // pairs averaged, tail singleton
+	if len(d.Values) != len(want) {
+		t.Fatalf("len = %d, want %d", len(d.Values), len(want))
+	}
+	for i := range want {
+		if d.Values[i] != want[i] {
+			t.Errorf("Downsample[%d] = %v, want %v", i, d.Values[i], want[i])
+		}
+	}
+	if d.Step != 30*time.Minute {
+		t.Errorf("step = %v, want 30m", d.Step)
+	}
+	if _, err := tr.Downsample(0); !errors.Is(err, ErrBadResample) {
+		t.Errorf("err = %v, want ErrBadResample", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := mustNew(t, []float64{4, -2, 10})
+	s, err := tr.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != -2 || s.Max != 10 || s.N != 3 || math.Abs(s.Mean-4) > 1e-12 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if _, err := mustNew(t, nil).Summarize(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := mustNew(t, []float64{0.5, 1.25, 700})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "test", 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || !got.Start.Equal(tr.Start) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, tr)
+	}
+	for i := range tr.Values {
+		if got.Values[i] != tr.Values[i] {
+			t.Errorf("value[%d] = %v, want %v", i, got.Values[i], tr.Values[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,notatime,2\n"), "x", time.Minute); err == nil {
+		t.Error("bad timestamp should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2021-06-01T00:00:00Z,xyz\n"), "x", time.Minute); err == nil {
+		t.Error("bad value should error")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), "x", 0); !errors.Is(err, ErrBadStep) {
+		t.Error("bad step should error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := mustNew(t, []float64{1, 2, 3})
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Step != tr.Step || !got.Start.Equal(tr.Start) {
+		t.Errorf("round trip metadata mismatch: %+v", got)
+	}
+	if len(got.Values) != 3 || got.Values[2] != 3 {
+		t.Errorf("round trip values mismatch: %v", got.Values)
+	}
+}
+
+func TestJSONBadStep(t *testing.T) {
+	var got Trace
+	err := json.Unmarshal([]byte(`{"name":"x","start":"2021-06-01T00:00:00Z","stepMillis":0,"values":[]}`), &got)
+	if !errors.Is(err, ErrBadStep) {
+		t.Errorf("err = %v, want ErrBadStep", err)
+	}
+}
+
+// Property: Downsample never changes the overall mean (it averages groups,
+// and the tail group is weighted by actual size — so compare against the
+// group-weighted mean instead of sample mean when tail is partial; with
+// factor dividing length they agree exactly).
+func TestQuickDownsampleMeanPreserved(t *testing.T) {
+	f := func(raw []uint8, factorRaw uint8) bool {
+		factor := int(factorRaw%4) + 1
+		// Pad to a multiple of factor so means must agree exactly.
+		vals := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			vals = append(vals, float64(r))
+		}
+		for len(vals)%factor != 0 {
+			vals = append(vals, 0)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		tr, err := New("q", t0, time.Minute, vals)
+		if err != nil {
+			return false
+		}
+		d, err := tr.Downsample(factor)
+		if err != nil {
+			return false
+		}
+		s1, err1 := tr.Summarize()
+		s2, err2 := d.Summarize()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(s1.Mean-s2.Mean) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clip output is always within bounds and idempotent.
+func TestQuickClipBoundsIdempotent(t *testing.T) {
+	f := func(raw []int8) bool {
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		tr, err := New("q", t0, time.Minute, vals)
+		if err != nil {
+			return false
+		}
+		c := tr.Clip(-10, 10)
+		for _, v := range c.Values {
+			if v < -10 || v > 10 {
+				return false
+			}
+		}
+		c2 := c.Clip(-10, 10)
+		for i := range c.Values {
+			if c.Values[i] != c2.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

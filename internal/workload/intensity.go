@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"greenhetero/internal/server"
+)
+
+// Intensity-aware variants of the response surface. Datacenter load is
+// not constant: Fig. 6 drives the runtime experiments with a typical
+// diurnal rack-power pattern. Intensity i ∈ (0, 1] scales how much of the
+// workload's dynamic power range is exercised this epoch:
+//
+//	peakEff(i) = idle + i·util·(peak − idle)
+//	perfMax(i) = perfMax · i^0.3
+//
+// (lighter load needs less power to saturate, and delivers somewhat less
+// absolute throughput). Intensity 1 reduces to the base functions, and
+// the shift of peakEff over the day is what makes the paper's runtime
+// database updates (Algorithm 1 lines 8–10) worthwhile: projections
+// profiled at one intensity drift as the load moves.
+
+// ErrBadIntensity is returned for intensities outside (0, 1].
+var ErrBadIntensity = fmt.Errorf("workload: intensity outside (0, 1]")
+
+// ValidIntensity reports whether i is usable.
+func ValidIntensity(i float64) bool { return i > 0 && i <= 1 }
+
+// PeakEffWAt is PeakEffW under load intensity i.
+func PeakEffWAt(s server.Spec, w Workload, intensity float64) float64 {
+	return s.IdleW + intensity*w.util*s.DynamicRangeW()
+}
+
+// PerfAt is Perf under load intensity i.
+func PerfAt(s server.Spec, w Workload, powerW, intensity float64) float64 {
+	if !ValidIntensity(intensity) {
+		return 0
+	}
+	if powerW < s.IdleW {
+		return 0
+	}
+	max := PerfMax(s, w) * math.Pow(intensity, 0.3)
+	if max == 0 {
+		return 0
+	}
+	peakEff := PeakEffWAt(s, w, intensity)
+	if powerW >= peakEff {
+		return max
+	}
+	x := (powerW - s.IdleW) / (peakEff - s.IdleW)
+	return max * math.Pow(x, w.gamma)
+}
+
+// UsedPowerWAt is UsedPowerW under load intensity i.
+func UsedPowerWAt(s server.Spec, w Workload, powerW, intensity float64) float64 {
+	if !ValidIntensity(intensity) || powerW < s.IdleW {
+		return 0
+	}
+	peakEff := PeakEffWAt(s, w, intensity)
+	if powerW > peakEff {
+		return peakEff
+	}
+	return powerW
+}
