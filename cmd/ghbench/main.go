@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ghbench [-seed N] [-quick] [id ...]
+//	ghbench [-seed N] [-quick] [-parallel N] [id ...]
 //	ghbench -list
 //
 // With no ids, every registered experiment runs in order. Ids follow the
@@ -30,6 +30,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ghbench", flag.ContinueOnError)
 	seed := fs.Int64("seed", 7, "measurement noise seed")
 	quick := fs.Bool("quick", false, "shrink epoch counts for a fast pass")
+	parallel := fs.Int("parallel", 0, "concurrent simulation runs per experiment (0 = one per CPU, 1 = serial; output is identical)")
 	md := fs.Bool("md", false, "emit GitHub-flavored Markdown instead of aligned text")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
@@ -45,7 +46,7 @@ func run(args []string) error {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	for i, id := range ids {
 		tbl, err := experiments.Run(id, opts)
 		if err != nil {

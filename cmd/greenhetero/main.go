@@ -57,6 +57,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 7, "measurement noise seed")
 	every := fs.Int("every", 4, "print every Nth epoch")
 	compare := fs.Bool("compare", false, "compare all five policies instead")
+	parallel := fs.Int("parallel", 0, "concurrent runs for -compare (0 = one per CPU, 1 = serial)")
 	csvPath := fs.String("csv", "", "also write the per-epoch record to this CSV file")
 	scenarioPath := fs.String("scenario", "", "load the run from a JSON scenario file (overrides combo/workload/trace flags)")
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +77,7 @@ func run(args []string) error {
 			return err
 		}
 		if *compare {
-			return runCompare(cfg)
+			return runCompare(cfg, *parallel)
 		}
 		res, err := sim.Run(cfg)
 		if err != nil {
@@ -128,7 +129,7 @@ func run(args []string) error {
 	}
 
 	if *compare {
-		return runCompare(cfg)
+		return runCompare(cfg, *parallel)
 	}
 
 	p, err := policy.ByName(*policyFlag)
@@ -187,8 +188,8 @@ func printRun(res *sim.Result, every int) {
 		res.MeanPAR()*100, res.GridEnergyWh())
 }
 
-func runCompare(cfg sim.Config) error {
-	results, err := sim.Compare(cfg, policy.All())
+func runCompare(cfg sim.Config, parallel int) error {
+	results, err := sim.CompareParallel(cfg, policy.All(), parallel)
 	if err != nil {
 		return err
 	}

@@ -183,9 +183,18 @@ func DefaultBattery() BatteryConfig { return battery.DefaultConfig() }
 func RunSimulation(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
 // ComparePolicies runs the same scenario under several policies with
-// identical traces and noise, keyed by policy name.
+// identical traces and noise, keyed by policy name. Runs execute
+// concurrently (one worker per CPU) with bit-identical results; use
+// ComparePoliciesParallel to pin the worker count.
 func ComparePolicies(cfg SimConfig, policies []Policy) (map[string]*SimResult, error) {
 	return sim.Compare(cfg, policies)
+}
+
+// ComparePoliciesParallel is ComparePolicies with an explicit
+// parallelism knob: 0 means one worker per CPU, 1 forces the serial
+// legacy loop. Output is bit-identical at every level.
+func ComparePoliciesParallel(cfg SimConfig, policies []Policy, parallelism int) (map[string]*SimResult, error) {
+	return sim.CompareParallel(cfg, policies, parallelism)
 }
 
 // NewController assembles a rack-level GreenHetero controller for live

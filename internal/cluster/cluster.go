@@ -17,10 +17,10 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"greenhetero/internal/battery"
 	"greenhetero/internal/policy"
+	"greenhetero/internal/runner"
 	"greenhetero/internal/server"
 	"greenhetero/internal/sim"
 	"greenhetero/internal/trace"
@@ -76,8 +76,13 @@ type Config struct {
 	Shares ShareStrategy
 	// Epochs is the simulation length.
 	Epochs int
-	// Seed drives measurement noise (rack i uses Seed+i).
+	// Seed drives measurement noise; each rack's stream is derived from
+	// it with a stable per-rack key (runner.DeriveSeed), so racks have
+	// independent noise but the site run is reproducible bit-for-bit.
 	Seed int64
+	// Parallelism bounds concurrent rack simulations: 0 = one worker
+	// per CPU, 1 = serial. Results are identical at every level.
+	Parallelism int
 }
 
 // ErrBadConfig is returned for invalid datacenter configurations.
@@ -189,38 +194,27 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Racks: make([]RackResult, len(cfg.Racks))}
-	errs := make([]error, len(cfg.Racks))
-	var wg sync.WaitGroup
-	for i, rc := range cfg.Racks {
-		i, rc := i, rc
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rackSolar := cfg.Solar.Scale(fractions[i])
-			simRes, err := sim.Run(sim.Config{
-				Rack:        rc.Rack,
-				Workload:    rc.Workload,
-				Policy:      rc.Policy,
-				Solar:       rackSolar,
-				Epochs:      cfg.Epochs,
-				GridBudgetW: rc.GridBudgetW,
-				Battery:     rc.Battery,
-				InitialSoC:  rc.InitialSoC,
-				Seed:        cfg.Seed + int64(i),
-			})
-			if err != nil {
-				errs[i] = fmt.Errorf("rack %s: %w", rc.Rack.Name(), err)
-				return
-			}
-			res.Racks[i] = RackResult{Name: rc.Rack.Name(), PVShare: fractions[i], Result: simRes}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
+	racks, err := runner.Map(cfg.Parallelism, len(cfg.Racks), func(i int) (RackResult, error) {
+		rc := cfg.Racks[i]
+		rackSolar := cfg.Solar.Scale(fractions[i])
+		simRes, err := sim.Run(sim.Config{
+			Rack:        rc.Rack,
+			Workload:    rc.Workload,
+			Policy:      rc.Policy,
+			Solar:       rackSolar,
+			Epochs:      cfg.Epochs,
+			GridBudgetW: rc.GridBudgetW,
+			Battery:     rc.Battery,
+			InitialSoC:  rc.InitialSoC,
+			Seed:        runner.DeriveSeed(cfg.Seed, fmt.Sprintf("rack/%d/%s", i, rc.Rack.Name())),
+		})
 		if err != nil {
-			return nil, err
+			return RackResult{}, fmt.Errorf("rack %s: %w", rc.Rack.Name(), err)
 		}
+		return RackResult{Name: rc.Rack.Name(), PVShare: fractions[i], Result: simRes}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Result{Racks: racks}, nil
 }

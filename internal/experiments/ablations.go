@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"greenhetero/internal/policy"
+	"greenhetero/internal/runner"
 	"greenhetero/internal/sim"
 	"greenhetero/internal/solar"
 	"greenhetero/internal/solver"
@@ -34,7 +35,9 @@ func AblationDBUpdate(opts Options) (*Table, error) {
 		Title:  "Ablation: runtime database updates (GreenHetero vs GreenHetero-a), diurnal drift",
 		Header: []string{"Workload", "GreenHetero-a perf", "GreenHetero perf", "Update benefit"},
 	}
-	for _, wid := range []string{workload.SPECjbb, workload.Streamcluster, workload.WebSearch} {
+	wids := []string{workload.SPECjbb, workload.Streamcluster, workload.WebSearch}
+	rows, err := runner.Map(o.Parallelism, len(wids), func(i int) ([]string, error) {
+		wid := wids[i]
 		cfg := sim.Config{
 			Rack:        rack,
 			Workload:    workloadByID(wid),
@@ -43,17 +46,21 @@ func AblationDBUpdate(opts Options) (*Table, error) {
 			GridBudgetW: 1000,
 			Seed:        o.Seed,
 		}
-		results, err := sim.Compare(cfg, []policy.Policy{
+		results, err := sim.CompareParallel(cfg, []policy.Policy{
 			policy.Solver{Adaptive: false},
 			policy.Solver{Adaptive: true},
-		})
+		}, o.Parallelism)
 		if err != nil {
 			return nil, err
 		}
 		frozen := results["GreenHetero-a"].MeanPerf()
 		adaptive := results["GreenHetero"].MeanPerf()
-		t.Rows = append(t.Rows, []string{wid, fmtF(frozen, 0), fmtF(adaptive, 0), fmtX(adaptive / frozen)})
+		return []string{wid, fmtF(frozen, 0), fmtF(adaptive, 0), fmtX(adaptive / frozen)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "expected: benefit > 1x — stale training-run projections mis-range the solver under load drift")
 	return t, nil
 }
@@ -154,22 +161,6 @@ func AblationPredictor(opts Options) (*Table, error) {
 	if o.Quick {
 		epochs = 24
 	}
-	runWith := func(factory func() timeseries.Predictor) (float64, error) {
-		cfg := sim.Config{
-			Rack:             rack,
-			Workload:         workloadByID(workload.SPECjbb),
-			Solar:            tr,
-			Epochs:           epochs,
-			GridBudgetW:      1000,
-			Seed:             o.Seed,
-			PredictorFactory: factory,
-		}
-		res, err := sim.Run(withPolicy(cfg, policy.Solver{Adaptive: true}))
-		if err != nil {
-			return 0, err
-		}
-		return res.MeanPerf(), nil
-	}
 	mustHolt := func(a, b float64) func() timeseries.Predictor {
 		return func() timeseries.Predictor {
 			h, err := timeseries.NewHolt(a, b)
@@ -179,24 +170,37 @@ func AblationPredictor(opts Options) (*Table, error) {
 			return h
 		}
 	}
-	naivePerf, err := runWith(mustHolt(1, 1e-9))
-	if err != nil {
-		return nil, err
+	factories := []func() timeseries.Predictor{
+		mustHolt(1, 1e-9),
+		mustHolt(trained.Alpha, trained.Beta),
+		func() timeseries.Predictor {
+			h, err := timeseries.NewHoltWinters(seasonal.Alpha, seasonal.Beta, seasonal.Gamma, perDay)
+			if err != nil {
+				panic(err) // parameters validated above
+			}
+			return h
+		},
 	}
-	holtPerf, err := runWith(mustHolt(trained.Alpha, trained.Beta))
-	if err != nil {
-		return nil, err
-	}
-	hwPerf, err := runWith(func() timeseries.Predictor {
-		h, err := timeseries.NewHoltWinters(seasonal.Alpha, seasonal.Beta, seasonal.Gamma, perDay)
-		if err != nil {
-			panic(err) // parameters validated above
+	perfs, err := runner.Map(o.Parallelism, len(factories), func(i int) (float64, error) {
+		cfg := sim.Config{
+			Rack:             rack,
+			Workload:         workloadByID(workload.SPECjbb),
+			Solar:            tr,
+			Epochs:           epochs,
+			GridBudgetW:      1000,
+			Seed:             o.Seed,
+			PredictorFactory: factories[i],
 		}
-		return h
+		res, err := sim.Run(withPolicy(cfg, policy.Solver{Adaptive: true}))
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanPerf(), nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	naivePerf, holtPerf, hwPerf := perfs[0], perfs[1], perfs[2]
 
 	t := &Table{
 		ID:     "abl-predictor",
@@ -232,7 +236,8 @@ func AblationNoise(opts Options) (*Table, error) {
 		Title:  "Ablation: training-run noise vs policy robustness (SPECjbb, scarcity ladder)",
 		Header: []string{"Training noise x", "GreenHetero-a perf", "GreenHetero perf", "Adaptive advantage"},
 	}
-	for _, noise := range []float64{1, 3, 6, 10} {
+	noises := []float64{1, 3, 6, 10}
+	rows, err := runner.Map(o.Parallelism, len(noises), func(i int) ([]string, error) {
 		cfg := sim.Config{
 			Rack:          rack,
 			Workload:      workloadByID(workload.SPECjbb),
@@ -242,21 +247,25 @@ func AblationNoise(opts Options) (*Table, error) {
 			InitialSoC:    0.6,
 			Seed:          o.Seed,
 			Intensity:     sim.ConstantIntensity(1),
-			TrainingNoise: noise,
+			TrainingNoise: noises[i],
 		}
-		results, err := sim.Compare(cfg, []policy.Policy{
+		results, err := sim.CompareParallel(cfg, []policy.Policy{
 			policy.Solver{Adaptive: false},
 			policy.Solver{Adaptive: true},
-		})
+		}, o.Parallelism)
 		if err != nil {
 			return nil, err
 		}
 		frozen := results["GreenHetero-a"].MeanPerfScarce()
 		adaptive := results["GreenHetero"].MeanPerfScarce()
-		t.Rows = append(t.Rows, []string{
-			fmtF(noise, 0), fmtF(frozen, 0), fmtF(adaptive, 0), fmtX(adaptive / frozen),
-		})
+		return []string{
+			fmtF(noises[i], 0), fmtF(frozen, 0), fmtF(adaptive, 0), fmtX(adaptive / frozen),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "expected: the adaptive advantage grows with training noise (Algorithm 1's rationale, §IV-B.5)")
 	return t, nil
 }

@@ -114,6 +114,13 @@ type Options struct {
 	Seed int64
 	// Quick shrinks epoch counts for use inside testing.B loops.
 	Quick bool
+	// Parallelism bounds the concurrent simulation runs a multi-run
+	// experiment fans out (sweep cells × policies): 0 means one worker
+	// per CPU (runtime.GOMAXPROCS(0)), 1 is the exact legacy serial
+	// loop. Every run owns its RNG, database, and policy instances, so
+	// the produced Table is bit-identical at every parallelism level —
+	// a contract enforced by the serial-vs-parallel equivalence tests.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {

@@ -5,6 +5,7 @@ import (
 
 	"greenhetero/internal/cluster"
 	"greenhetero/internal/policy"
+	"greenhetero/internal/runner"
 	"greenhetero/internal/sim"
 	"greenhetero/internal/solar"
 	"greenhetero/internal/workload"
@@ -79,26 +80,28 @@ func ExtensionCluster(opts Options) (*Table, error) {
 		Title:  "Extension: 3-rack green datacenter — cross-rack PV shares × per-rack policy",
 		Header: []string{"Deployment", "Site perf", "vs oblivious", "Mean EPU", "Grid (kWh)"},
 	}
-	var base float64
-	for i, v := range variants {
+	siteResults, err := runner.Map(o.Parallelism, len(variants), func(i int) (*cluster.Result, error) {
+		v := variants[i]
 		racks, err := buildRacks(v.policy)
 		if err != nil {
 			return nil, err
 		}
-		res, err := cluster.Run(cluster.Config{
-			Racks:  racks,
-			Solar:  tr,
-			Shares: v.shares,
-			Epochs: epochs,
-			Seed:   o.Seed,
+		return cluster.Run(cluster.Config{
+			Racks:       racks,
+			Solar:       tr,
+			Shares:      v.shares,
+			Epochs:      epochs,
+			Seed:        o.Seed,
+			Parallelism: o.Parallelism,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := siteResults[0].TotalPerf()
+	for i, v := range variants {
+		res := siteResults[i]
 		perf := res.TotalPerf()
-		if i == 0 {
-			base = perf
-		}
 		t.Rows = append(t.Rows, []string{
 			v.name,
 			fmtF(perf, 0),
@@ -142,7 +145,7 @@ func ExtensionMixed(opts Options) (*Table, error) {
 		Seed:        o.Seed,
 		Intensity:   sim.ConstantIntensity(1),
 	}
-	results, err := sim.Compare(cfg, freshPolicies())
+	results, err := sim.CompareParallel(cfg, freshPolicies(), o.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// render runs an experiment and returns its fully rendered text table.
+func render(t *testing.T, id string, opts Options) []byte {
+	t.Helper()
+	tbl, err := Run(id, opts)
+	if err != nil {
+		t.Fatalf("Run(%s, parallelism=%d): %v", id, opts.Parallelism, err)
+	}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSerialParallelEquivalence is the determinism contract of the
+// parallel experiment engine: EVERY registered experiment id — in
+// particular the multi-run sweeps, ablations, and extensions — must
+// produce byte-identical output at Parallelism 1 (the exact legacy
+// serial loop) and Parallelism 8. Iterating all of IDs() means a newly
+// registered experiment is held to the contract automatically.
+func TestSerialParallelEquivalence(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := render(t, id, Options{Quick: true, Parallelism: 1})
+			parallel := render(t, id, Options{Quick: true, Parallelism: 8})
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("serial and parallel output differ for %s:\n--- parallelism=1 ---\n%s\n--- parallelism=8 ---\n%s",
+					id, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestDefaultParallelismEquivalence spot-checks that the default knob
+// (0 → one worker per CPU) also matches serial output on a
+// representative multi-run experiment of each family.
+func TestDefaultParallelismEquivalence(t *testing.T) {
+	for _, id := range []string{"fig9", "fig12", "abl-noise", "ext-cluster"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := render(t, id, Options{Quick: true, Parallelism: 1})
+			def := render(t, id, Options{Quick: true})
+			if !bytes.Equal(serial, def) {
+				t.Errorf("default parallelism output differs from serial for %s", id)
+			}
+		})
+	}
+}

@@ -31,7 +31,7 @@ func runtimeDay(id, title string, tr *trace.Trace, o Options) (*Table, error) {
 		GridBudgetW: 1000,
 		Seed:        o.Seed,
 	}
-	results, err := sim.Compare(cfg, []policy.Policy{policy.Uniform{}, policy.Solver{Adaptive: true}})
+	results, err := sim.CompareParallel(cfg, []policy.Policy{policy.Uniform{}, policy.Solver{Adaptive: true}}, o.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"greenhetero/internal/cost"
 	"greenhetero/internal/metrics"
 	"greenhetero/internal/policy"
+	"greenhetero/internal/runner"
 	"greenhetero/internal/sim"
 	"greenhetero/internal/trace"
 	"greenhetero/internal/workload"
@@ -36,7 +37,9 @@ func Figure12(opts Options) (*Table, error) {
 		Header: []string{"Grid budget (W)", "Uniform perf", "GreenHetero perf", "Gain", "Grid bill ($/day-equiv)"},
 	}
 	tariff := cost.DefaultTariff()
-	for _, budget := range []float64{500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400} {
+	budgets := []float64{500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400}
+	rows, err := runner.Map(o.Parallelism, len(budgets), func(i int) ([]string, error) {
+		budget := budgets[i]
 		cfg := sim.Config{
 			Rack:        rack,
 			Workload:    workloadByID(workload.SPECjbb),
@@ -47,7 +50,7 @@ func Figure12(opts Options) (*Table, error) {
 			Seed:        o.Seed,
 			Intensity:   sim.ConstantIntensity(1),
 		}
-		results, err := sim.Compare(cfg, []policy.Policy{policy.Uniform{}, policy.Solver{Adaptive: true}})
+		results, err := sim.CompareParallel(cfg, []policy.Policy{policy.Uniform{}, policy.Solver{Adaptive: true}}, o.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -64,11 +67,15 @@ func Figure12(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmtF(budget, 0), fmtF(uni, 0), fmtF(gh, 0), fmtX(gain),
 			fmt.Sprintf("%.2f (peak %.2fkW)", bill.Total, bill.PeakKW),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"expected shape: gain shrinks as the budget approaches rack demand (abundance), grows under tight budgets",
 		"the paper reads this as GreenHetero enabling grid under-provisioning: every kW of peak feed avoided saves $13.61 in demand charges",
@@ -109,7 +116,9 @@ func Figure13(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range combos[:5] { // Comb6 is the GPU rack of fig14
+	cells := combos[:5] // Comb6 is the GPU rack of fig14
+	rows, err := runner.Map(o.Parallelism, len(cells), func(i int) ([]string, error) {
+		c := cells[i]
 		rack, err := comboRack(c.name)
 		if err != nil {
 			return nil, err
@@ -124,7 +133,7 @@ func Figure13(opts Options) (*Table, error) {
 			Seed:        o.Seed,
 			Intensity:   sim.ConstantIntensity(1),
 		}
-		results, err := sim.Compare(cfg, freshPolicies())
+		results, err := sim.CompareParallel(cfg, freshPolicies(), o.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
@@ -133,8 +142,12 @@ func Figure13(opts Options) (*Table, error) {
 		for _, p := range policyOrder {
 			row = append(row, fmtX(results[p].MeanPerfScarce()/base))
 		}
-		t.Rows = append(t.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper shape: Comb2/Comb4 near 1x (near-homogeneous power profiles), Comb1/Comb3 ≈ 1.5x, Comb5 ≈ 1.6x",
 	)
@@ -162,8 +175,13 @@ func Figure14(opts Options) (*Table, error) {
 		Title:  "Performance of Comb6 (CPU+GPU) for the heterogeneous-computing workloads (vs Uniform)",
 		Header: append([]string{"Workload"}, policyOrder...),
 	}
-	var gains []float64
-	for _, w := range workload.Comb6Set() {
+	set := workload.Comb6Set()
+	type cell struct {
+		row  []string
+		gain float64
+	}
+	cellsOut, err := runner.Map(o.Parallelism, len(set), func(i int) (cell, error) {
+		w := set[i]
 		cfg := sim.Config{
 			Rack:        rack,
 			Workload:    w,
@@ -174,17 +192,24 @@ func Figure14(opts Options) (*Table, error) {
 			Seed:        o.Seed,
 			Intensity:   sim.ConstantIntensity(1),
 		}
-		results, err := sim.Compare(cfg, freshPolicies())
+		results, err := sim.CompareParallel(cfg, freshPolicies(), o.Parallelism)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.ID, err)
+			return cell{}, fmt.Errorf("%s: %w", w.ID, err)
 		}
 		base := results["Uniform"].MeanPerfScarce()
 		row := []string{w.Name}
 		for _, p := range policyOrder {
 			row = append(row, fmtX(results[p].MeanPerfScarce()/base))
 		}
-		t.Rows = append(t.Rows, row)
-		gains = append(gains, results["GreenHetero"].MeanPerfScarce()/base)
+		return cell{row: row, gain: results["GreenHetero"].MeanPerfScarce() / base}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var gains []float64
+	for _, c := range cellsOut {
+		t.Rows = append(t.Rows, c.row)
+		gains = append(gains, c.gain)
 	}
 	mean, err := metrics.Mean(gains)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"greenhetero/internal/metrics"
+	"greenhetero/internal/runner"
 	"greenhetero/internal/sim"
 	"greenhetero/internal/workload"
 )
@@ -24,8 +25,9 @@ func workloadComparison(o Options) (map[string]map[string]*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]map[string]*sim.Result)
-	for _, w := range workload.Figure9Set() {
+	set := workload.Figure9Set()
+	perWorkload, err := runner.Map(o.Parallelism, len(set), func(i int) (map[string]*sim.Result, error) {
+		w := set[i]
 		cfg := sim.Config{
 			Rack:        rack,
 			Workload:    w,
@@ -36,11 +38,18 @@ func workloadComparison(o Options) (map[string]map[string]*sim.Result, error) {
 			Seed:        o.Seed,
 			Intensity:   sim.ConstantIntensity(1),
 		}
-		results, err := sim.Compare(cfg, freshPolicies())
+		results, err := sim.CompareParallel(cfg, freshPolicies(), o.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("workload %s: %w", w.ID, err)
 		}
-		out[w.ID] = results
+		return results, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]*sim.Result, len(set))
+	for i, w := range set {
+		out[w.ID] = perWorkload[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,163 @@
+// Package runner is the deterministic parallel execution engine behind
+// every multi-run evaluation in this repository: policy comparisons
+// (sim.Compare), the experiment sweeps and ablations, the multi-rack
+// cluster simulation, and the ghbench command all fan their independent
+// simulation runs through Map.
+//
+// The determinism contract: a simulation run is a pure function of its
+// Config — every run owns its RNG (seeded from the config), its
+// database, and its policy instances, and shares only immutable inputs
+// (racks, specs, traces). Map exploits that: it executes runs on a
+// bounded worker pool and writes each result into its index slot, so
+// the output is bit-identical to a serial loop regardless of how the
+// scheduler interleaves workers. Parallelism 1 degenerates to exactly
+// the legacy serial loop (in order, on the calling goroutine, stopping
+// at the first failure).
+//
+// Where a fan-out needs per-run noise streams that are independent but
+// reproducible, DeriveSeed maps (parent seed, stable run key) to a
+// child seed — never derive seeds from completion order.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultParallelism resolves a Parallelism knob: values above 1 are
+// taken as-is, 1 means serial, and 0 (or negative) means one worker per
+// available CPU (runtime.GOMAXPROCS(0)).
+func DefaultParallelism(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError is a panic recovered from a task, preserving the panic
+// value and the stack of the panicking goroutine. Map converts panics
+// to errors in every mode (including serial) so that a panicking run
+// yields the same outcome regardless of parallelism, and one bad run
+// cannot tear down the whole pool.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: task %d panicked: %v", e.Index, e.Value)
+}
+
+// Map runs fn(0) … fn(n-1) with at most parallelism concurrent calls
+// and returns the results in index order. fn must depend only on its
+// index (and state owned by that run); results are then identical for
+// every parallelism level.
+//
+// Error semantics are deterministic too: if any task fails, Map returns
+// the error of the lowest failing index — the same error a serial loop
+// would have stopped at. Tasks above an already-failed index may be
+// skipped (the batch is abandoned), but every index below the lowest
+// known failure still runs, so the reported error never depends on
+// scheduling. Panics are captured as *PanicError.
+func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative task count %d", n)
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	p := DefaultParallelism(parallelism)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		// Legacy serial behaviour: in order, stop at the first failure.
+		for i := 0; i < n; i++ {
+			v, err := call(i, fn)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // next task index to claim
+		minErr atomic.Int64 // lowest failing index; n = none
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	minErr.Store(int64(n))
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if int64(i) > minErr.Load() {
+					// A lower index already failed; this task's result
+					// could never be observed. Skip it.
+					continue
+				}
+				v, err := call(i, fn)
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := minErr.Load()
+						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if m := minErr.Load(); m < int64(n) {
+		return nil, errs[m]
+	}
+	return out, nil
+}
+
+// call invokes one task with panic capture.
+func call[T any](i int, fn func(int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// DeriveSeed deterministically derives a child RNG seed from a parent
+// seed and a stable run key (a policy name, a sweep cell label, a rack
+// index — anything that identifies the run independent of scheduling).
+// The same (parent, key) pair always yields the same child; distinct
+// keys decorrelate their noise streams. The key is hashed with FNV-1a
+// and mixed with the parent through a SplitMix64 finalizer.
+func DeriveSeed(parent int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := uint64(parent) ^ h.Sum64()
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}

@@ -1,0 +1,248 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDefaultParallelism(t *testing.T) {
+	if got := DefaultParallelism(1); got != 1 {
+		t.Errorf("DefaultParallelism(1) = %d", got)
+	}
+	if got := DefaultParallelism(7); got != 7 {
+		t.Errorf("DefaultParallelism(7) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := DefaultParallelism(0); got != want {
+		t.Errorf("DefaultParallelism(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := DefaultParallelism(-3); got != want {
+		t.Errorf("DefaultParallelism(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 8, 64} {
+		par := par
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			out, err := Map(par, 100, func(i int) (int, error) { return i * i, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 100 {
+				t.Fatalf("len = %d", len(out))
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapZeroAndNegativeN(t *testing.T) {
+	out, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("n=0: out=%v err=%v", out, err)
+	}
+	if _, err := Map(4, -1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative n should error")
+	}
+}
+
+// TestMapLowestIndexError pins the deterministic error contract: with
+// several failing tasks, Map reports the lowest failing index — exactly
+// the error a serial loop stops at — at every parallelism level.
+func TestMapLowestIndexError(t *testing.T) {
+	errA := errors.New("task 3 failed")
+	errB := errors.New("task 60 failed")
+	for _, par := range []int{1, 2, 8} {
+		_, err := Map(par, 100, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errA
+			case 60:
+				return 0, errB
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errA) {
+			t.Errorf("parallelism %d: err = %v, want lowest-index error %v", par, err, errA)
+		}
+	}
+}
+
+func TestMapPanicRecovered(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		_, err := Map(par, 10, func(i int) (int, error) {
+			if i == 5 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism %d: err = %v, want *PanicError", par, err)
+		}
+		if pe.Index != 5 || pe.Value != "boom" {
+			t.Errorf("parallelism %d: PanicError = %+v", par, pe)
+		}
+		if !strings.Contains(pe.Error(), "task 5 panicked: boom") {
+			t.Errorf("Error() = %q", pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("panic stack not captured")
+		}
+	}
+}
+
+// TestMapPanicBeatsLaterError: a panic at a lower index wins over an
+// ordinary error at a higher index.
+func TestMapPanicBeatsLaterError(t *testing.T) {
+	_, err := Map(4, 20, func(i int) (int, error) {
+		if i == 2 {
+			panic(i)
+		}
+		if i == 10 {
+			return 0, errors.New("later")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v, want panic at index 2", err)
+	}
+}
+
+// TestMapBoundedConcurrency verifies the pool never runs more tasks at
+// once than the requested parallelism.
+func TestMapBoundedConcurrency(t *testing.T) {
+	const par = 3
+	var inFlight, peak atomic.Int64
+	gate := make(chan struct{})
+	var once sync.Once
+	_, err := Map(par, 50, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		// Let the first few tasks pile up before anyone finishes.
+		once.Do(func() { close(gate) })
+		<-gate
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > par {
+		t.Errorf("peak concurrency %d exceeds parallelism %d", p, par)
+	}
+}
+
+// TestMapStress is the -race-targeted pool hammer: many batches of tiny
+// tasks, with error-returning and panicking runs mixed in, checking
+// error propagation, panic recovery, and that every worker exits (no
+// goroutine leak across batches).
+func TestMapStress(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var completed atomic.Int64
+	for round := 0; round < 50; round++ {
+		round := round
+		n := 1 + round%97
+		failAt := -1
+		if round%3 == 1 {
+			failAt = round % n
+		}
+		panicAt := -1
+		if round%5 == 2 {
+			panicAt = (round * 7) % n
+		}
+		out, err := Map(1+round%9, n, func(i int) (int, error) {
+			completed.Add(1)
+			switch i {
+			case failAt:
+				return 0, fmt.Errorf("round %d task %d", round, i)
+			case panicAt:
+				panic(i)
+			}
+			return i + round, nil
+		})
+		wantFail := failAt
+		if panicAt >= 0 && (wantFail < 0 || panicAt < wantFail) {
+			wantFail = panicAt
+		}
+		switch {
+		case wantFail >= 0 && err == nil:
+			t.Fatalf("round %d: expected failure at %d, got none", round, wantFail)
+		case wantFail < 0 && err != nil:
+			t.Fatalf("round %d: unexpected error %v", round, err)
+		case wantFail < 0:
+			for i, v := range out {
+				if v != i+round {
+					t.Fatalf("round %d: out[%d] = %d", round, i, v)
+				}
+			}
+		case wantFail == failAt:
+			if want := fmt.Sprintf("round %d task %d", round, failAt); err.Error() != want {
+				t.Fatalf("round %d: err = %q, want %q", round, err, want)
+			}
+		default:
+			var pe *PanicError
+			if !errors.As(err, &pe) || pe.Index != panicAt {
+				t.Fatalf("round %d: err = %v, want panic at %d", round, err, panicAt)
+			}
+		}
+	}
+	if completed.Load() == 0 {
+		t.Fatal("no tasks ran")
+	}
+	// Clean shutdown: the pool retains no goroutines between batches.
+	runtime.GC()
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d — pool leak", before, after)
+	}
+}
+
+// TestMapConcurrentBatches runs pools from many goroutines at once (the
+// nested fan-out shape the experiment runners use: cells × policies).
+func TestMapConcurrentBatches(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := Map(4, 40, func(i int) (int, error) {
+				inner, err := Map(2, 5, func(j int) (int, error) { return i + j, nil })
+				if err != nil {
+					return 0, err
+				}
+				sum := 0
+				for _, v := range inner {
+					sum += v
+				}
+				return sum + g, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, v := range out {
+				if want := 5*i + 10 + g; v != want {
+					t.Errorf("g=%d out[%d] = %d, want %d", g, i, v, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

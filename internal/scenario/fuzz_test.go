@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadScenario hardens the scenario loader against malformed or
+// adversarial documents: Parse must either return an error or a
+// scenario that satisfies every validate() invariant — never panic.
+// Scenarios that parse are additionally pushed through Build, which
+// must resolve cleanly or fail with an error (catalog lookups, solar
+// generation). Build is only attempted for generator-backed scenarios:
+// a TraceFile path would let the fuzzer open arbitrary files.
+func FuzzLoadScenario(f *testing.F) {
+	f.Add([]byte(`{
+		"name": "mixed-rack-demo",
+		"groups": [
+			{"server": "e5-2620", "count": 5, "workload": "specjbb"},
+			{"server": "i5-4460", "count": 5, "workload": "memcached"}
+		],
+		"policy": "GreenHetero",
+		"solar": {"profile": "high", "peakWatts": 2200, "days": 7, "seed": 1},
+		"epochs": 96,
+		"gridBudgetW": 1000,
+		"initialSoC": 1.0,
+		"seed": 7
+	}`))
+	f.Add([]byte(`{"name":"t","groups":[{"server":"e5-2620","count":1,"workload":"specjbb"}],"policy":"Uniform","solar":{"profile":"low","peakWatts":100},"epochs":1}`))
+	f.Add([]byte(`{"name":"t","groups":[{"server":"e5-2620","count":1,"workload":"specjbb"}],"policy":"Uniform","traceFile":"x.csv","epochs":4}`))
+	f.Add([]byte(`{"name":"","groups":[],"epochs":0}`))
+	f.Add([]byte(`{"name":"t","groups":[{"server":"nope","count":-3,"workload":"??"}],"policy":"??","solar":{"profile":"??","peakWatts":-1,"days":-1},"epochs":1}`))
+	f.Add([]byte(`{"unknown":"field"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			if sc != nil {
+				t.Fatalf("Parse returned both a scenario and error %v", err)
+			}
+			return
+		}
+		// Parse accepted it: the validate() invariants must hold.
+		switch {
+		case sc.Name == "":
+			t.Fatal("accepted scenario with empty name")
+		case len(sc.Groups) == 0:
+			t.Fatal("accepted scenario with no groups")
+		case sc.Epochs < 1:
+			t.Fatalf("accepted scenario with epochs %d", sc.Epochs)
+		case sc.Policy == "":
+			t.Fatal("accepted scenario with empty policy")
+		case sc.Solar == nil && sc.TraceFile == "":
+			t.Fatal("accepted scenario with no power source")
+		case sc.Solar != nil && sc.TraceFile != "":
+			t.Fatal("accepted scenario with both solar and traceFile")
+		}
+		if sc.TraceFile != "" {
+			return // don't let fuzz inputs open arbitrary paths
+		}
+		cfg, err := sc.Build()
+		if err != nil {
+			return // bad catalog ids etc. must error, not panic
+		}
+		if cfg.Rack == nil || cfg.Solar == nil || cfg.Policy == nil {
+			t.Fatal("Build returned an incomplete config without error")
+		}
+		if cfg.Epochs != sc.Epochs || cfg.Seed != sc.Seed {
+			t.Fatalf("Build dropped fields: epochs %d→%d seed %d→%d",
+				sc.Epochs, cfg.Epochs, sc.Seed, cfg.Seed)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"greenhetero/internal/policy"
+)
+
+// TestCompareSerialParallelEquivalence is the determinism contract for
+// the comparison engine: the same config compared at Parallelism 1
+// (the exact legacy serial loop) and Parallelism 8 must produce
+// bit-identical results for every policy — every epoch record, every
+// fraction, every battery cycle.
+func TestCompareSerialParallelEquivalence(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Epochs = 24
+
+	serial, err := CompareParallel(cfg, policy.All(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CompareParallel(cfg, policy.All(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("policy counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for name, sr := range serial {
+		pr, ok := parallel[name]
+		if !ok {
+			t.Fatalf("policy %s missing from parallel results", name)
+		}
+		if !reflect.DeepEqual(sr, pr) {
+			t.Errorf("policy %s: serial and parallel results differ", name)
+		}
+	}
+	// Compare (the default entry point) must agree with both.
+	def, err := Compare(cfg, policy.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, def) {
+		t.Error("Compare default parallelism diverges from serial")
+	}
+}
+
+// TestCompareParallelRepeatable: repeated parallel comparisons are
+// bit-identical to each other (no scheduling-order leakage).
+func TestCompareParallelRepeatable(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Epochs = 16
+	a, err := CompareParallel(cfg, policy.All(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompareParallel(cfg, policy.All(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two parallel comparisons of the same config differ")
+	}
+}
+
+// TestCompareParallelErrorDeterminism: an invalid config must surface
+// the same (first-policy) error at every parallelism level.
+func TestCompareParallelErrorDeterminism(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Epochs = 0 // invalid: every run fails
+	var msgs []string
+	for _, par := range []int{1, 8} {
+		_, err := CompareParallel(cfg, policy.All(), par)
+		if !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("parallelism %d: err = %v, want ErrBadConfig", par, err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("error differs by parallelism: %q vs %q", msgs[0], msgs[1])
+	}
+	if _, err := CompareParallel(baseConfig(t), nil, 4); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no policies: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// BenchmarkCompareParallel measures the comparison engine's wall-clock
+// scaling: the five Table III policies on a 24h SPECjbb run, at
+// parallelism 1 (legacy serial) and 4. On multi-core hardware the
+// parallel variant should approach a len(policies)-way speedup; output
+// is bit-identical either way (see the equivalence tests above).
+func BenchmarkCompareParallel(b *testing.B) {
+	cfg := baseConfig(b)
+	cfg.Epochs = 96
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CompareParallel(cfg, policy.All(), par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"greenhetero/internal/policy"
 	"greenhetero/internal/power"
 	"greenhetero/internal/profiledb"
+	"greenhetero/internal/runner"
 	"greenhetero/internal/server"
 	"greenhetero/internal/timeseries"
 	"greenhetero/internal/trace"
@@ -580,13 +581,28 @@ func workloadLabel(groupWs []workload.Workload) string {
 
 // Compare runs the same scenario under several policies, with identical
 // traces, intensity, and noise seeds, and returns results keyed by policy
-// name (the shape of the paper's Figs. 9/10/13/14 comparisons).
+// name (the shape of the paper's Figs. 9/10/13/14 comparisons). Policies
+// run concurrently, one worker per CPU; see CompareParallel.
 func Compare(cfg Config, policies []policy.Policy) (map[string]*Result, error) {
+	return CompareParallel(cfg, policies, 0)
+}
+
+// CompareParallel is Compare with an explicit parallelism knob:
+// 0 means one worker per CPU (runtime.GOMAXPROCS(0)), 1 is the exact
+// legacy serial loop. Results are bit-identical at every level: each
+// policy's run owns its RNG (seeded from cfg.Seed), its fresh database,
+// and its policy instance, and shares only the immutable rack and trace.
+// Every policy deliberately sees the same noise seed — the paper's
+// comparisons are paired, with identical observations across policies —
+// so determinism comes from per-run RNG construction, not seed
+// splitting (use runner.DeriveSeed where independent streams are
+// wanted, as the cluster package does).
+func CompareParallel(cfg Config, policies []policy.Policy, parallelism int) (map[string]*Result, error) {
 	if len(policies) == 0 {
 		return nil, fmt.Errorf("%w: no policies", ErrBadConfig)
 	}
-	out := make(map[string]*Result, len(policies))
-	for _, p := range policies {
+	results, err := runner.Map(parallelism, len(policies), func(i int) (*Result, error) {
+		p := policies[i]
 		c := cfg
 		c.Policy = p
 		c.DB = nil // fresh database per policy: no cross-contamination
@@ -594,7 +610,14 @@ func Compare(cfg Config, policies []policy.Policy) (map[string]*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: policy %s: %w", p.Name(), err)
 		}
-		out[p.Name()] = r
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Result, len(policies))
+	for i, p := range policies {
+		out[p.Name()] = results[i]
 	}
 	return out, nil
 }
