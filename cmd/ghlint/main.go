@@ -1,0 +1,143 @@
+// Command ghlint runs the repository's domain-aware static-analysis
+// suite (internal/lint): determinism, seedflow, unitsafety, and floateq.
+// It is the mechanical guardian of the invariants the simulator's
+// bit-identical serial-vs-parallel proof depends on.
+//
+// Usage:
+//
+//	go run ./cmd/ghlint ./...             # whole repo, all analyzers
+//	go run ./cmd/ghlint ./internal/sim    # one package
+//	go run ./cmd/ghlint -analyzers floateq,unitsafety ./...
+//	go run ./cmd/ghlint -list             # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load error.
+//
+// Findings are suppressed line-by-line with a reasoned directive the
+// driver verifies:
+//
+//	//lint:ghlint ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"greenhetero/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ghlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		analyzerCSV = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list        = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ghlint [flags] [packages]\n\n"+
+			"ghlint runs the GreenHetero static-analysis suite over the given\n"+
+			"package patterns (default ./...).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*analyzerCSV)
+	if err != nil {
+		fmt.Fprintf(stderr, "ghlint: %v\n", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	pkgs, err := lint.Load(".", fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "ghlint: %v\n", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			// Partial type information can hide findings; surface it
+			// loudly but keep analyzing what did check.
+			fmt.Fprintf(stderr, "ghlint: %s: type error: %v\n", pkg.Path, terr)
+		}
+		for _, d := range lint.RunPackage(pkg, analyzers) {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", relPos(pos.String()), d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "ghlint: %d finding(s); fix them or add a reasoned "+
+			"//lint:ghlint ignore <analyzer> <reason> directive\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -analyzers flag against the suite.
+func selectAnalyzers(csv string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if csv == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)",
+				name, strings.Join(lint.AnalyzerNames(), ", "))
+		}
+		if !seen[name] {
+			picked = append(picked, a)
+			seen[name] = true
+		}
+	}
+	sort.Slice(picked, func(i, j int) bool { return analyzerRank(picked[i].Name) < analyzerRank(picked[j].Name) })
+	return picked, nil
+}
+
+// analyzerRank orders a subset like the full suite.
+func analyzerRank(name string) int {
+	for i, n := range lint.AnalyzerNames() {
+		if n == name {
+			return i
+		}
+	}
+	return len(lint.AnalyzerNames())
+}
+
+// relPos trims the current directory prefix so findings print as
+// clickable repo-relative paths.
+func relPos(pos string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return pos
+	}
+	if rel, err := filepath.Rel(wd, pos); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return pos
+}

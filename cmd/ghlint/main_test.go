@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirRepoRoot moves the test into the module root so package patterns
+// resolve the same way they do for `go run ./cmd/ghlint`.
+func chdirRepoRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(filepath.Join(wd, "..", ".."))
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	// internal/fit is deterministic-core and clean; the full suite must
+	// pass over it.
+	if code := run([]string{"./internal/fit"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(./internal/fit) = %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean package produced output: %s", stdout.String())
+	}
+}
+
+func TestRunSuppressedFinding(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	// internal/runner contains the one legitimate CPU-count read behind
+	// a reasoned suppression; the suite must accept it.
+	if code := run([]string{"./internal/runner"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(./internal/runner) = %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	for _, name := range []string{"determinism", "seedflow", "unitsafety", "floateq"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch", "./internal/fit"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-analyzers nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+func TestSelectAnalyzersSubsetOrder(t *testing.T) {
+	picked, err := selectAnalyzers("floateq,determinism,floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || picked[0].Name != "determinism" || picked[1].Name != "floateq" {
+		names := make([]string, len(picked))
+		for i, a := range picked {
+			names[i] = a.Name
+		}
+		t.Fatalf("selectAnalyzers = %v, want [determinism floateq] (deduped, suite order)", names)
+	}
+}

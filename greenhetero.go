@@ -42,6 +42,11 @@
 //	fmt.Println(res.MeanPerf(), res.MeanEPU())
 package greenhetero
 
+// Run the repo's invariant checker (see README "Static invariants")
+// before pushing: `go generate .` is equivalent to
+// `go run ./cmd/ghlint ./...`.
+//go:generate go run ./cmd/ghlint ./...
+
 import (
 	"greenhetero/internal/battery"
 	"greenhetero/internal/core"

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer forbids nondeterministic inputs in the
+// deterministic core: wall-clock reads, the global math/rand source,
+// environment variables, and CPU-count queries. A single such call
+// inside a simulation path silently breaks the serial-vs-parallel
+// bit-identity proof and makes golden experiment tables flaky, so the
+// convention is promoted to a build-time error here.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock, global-RNG, environment, and CPU-count reads " +
+		"in the deterministic core packages; simulation output must be a " +
+		"pure function of the run Config",
+	Run: runDeterminism,
+}
+
+// forbiddenCalls maps package path → function name → the reason the
+// call is nondeterministic. Only calls through the package selector are
+// matched, which is exactly how these functions are reached.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the environment",
+		"LookupEnv": "reads the environment",
+		"Environ":   "reads the environment",
+	},
+	"runtime": {
+		"NumCPU":     "depends on the host CPU count",
+		"GOMAXPROCS": "depends on the host CPU count",
+	},
+}
+
+// globalRandAllowed lists the math/rand (and math/rand/v2) functions
+// that do NOT touch the shared global source: constructors that take an
+// explicit, caller-owned seed or source. Everything else at package
+// level draws from the process-global RNG and is forbidden in the core.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runDeterminism(pass *Pass) {
+	if !IsDeterministicCore(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn := pkgQualifiedCall(pass.Info, call)
+			if pkgPath == "" {
+				return true
+			}
+			if reason, ok := forbiddenCalls[pkgPath][fn]; ok {
+				pass.Reportf(call.Pos(),
+					"%s.%s %s; deterministic-core packages must derive everything from the run Config (move the call behind an injected clock/knob or to an allowlisted package)",
+					pkgPath, fn, reason)
+			}
+			if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !globalRandAllowed[fn] {
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the process-global RNG; deterministic-core packages must use a rand.Rand seeded from the run Config (rand.New(rand.NewSource(seed)))",
+					pkgPath, fn)
+			}
+			return true
+		})
+	}
+}
+
+// pkgQualifiedCall resolves a call of the form pkg.Fn(...) to its
+// package import path and function name, following the type-checker's
+// resolution so import aliases cannot hide a forbidden call. Non-package
+// selectors (method calls, field accesses) return "".
+func pkgQualifiedCall(info *types.Info, call *ast.CallExpr) (pkgPath, fn string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

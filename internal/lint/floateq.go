@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloateqAnalyzer rejects == and != between two non-constant
+// floating-point expressions. Exact float identity is almost never the
+// intended predicate in this codebase: paired-policy comparisons,
+// golden-table assertions, and battery/power accounting all accumulate
+// rounding, so `a == b` between two computed floats encodes an
+// assumption the hardware does not honor. Comparisons against a
+// constant (x == 0, the IEEE-clean sentinel checks) are allowed, as are
+// comparisons inside the approved epsilon-helper functions where exact
+// identity is the point.
+var FloateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between non-constant floating-point expressions " +
+		"outside approved epsilon/equality helpers; computed floats " +
+		"compare by tolerance, not identity",
+	Run: runFloateq,
+}
+
+func runFloateq(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			// Approved epsilon helpers may compare exactly; closures
+			// inside them inherit the approval.
+			if approvedFloatEqHelpers[fd.Name.Name] {
+				continue
+			}
+			inspectFloatEq(pass, fd.Body)
+		}
+	}
+}
+
+// inspectFloatEq walks a function body reporting float identity
+// comparisons.
+func inspectFloatEq(pass *Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		tx, okx := pass.Info.Types[be.X]
+		ty, oky := pass.Info.Types[be.Y]
+		if !okx || !oky {
+			return true
+		}
+		// A constant on either side is an intentional sentinel
+		// (x == 0, r == math.Inf(1) is not constant but math.MaxFloat64
+		// is); only flag identity between two computed values.
+		if tx.Value != nil || ty.Value != nil {
+			return true
+		}
+		if !isFloat(tx.Type) || !isFloat(ty.Type) {
+			return true
+		}
+		pass.Reportf(be.OpPos,
+			"%q between two non-constant floating-point expressions; compare with an epsilon (math.Abs(a-b) <= tol) or move the comparison into an approved equality helper",
+			be.Op.String())
+		return true
+	})
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

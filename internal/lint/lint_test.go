@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIsDeterministicCore(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"greenhetero/internal/sim", true},
+		{"greenhetero/internal/experiments", true},
+		{"greenhetero/internal/battery", true},
+		{"greenhetero/internal/runner", true},
+		{"greenhetero/internal/telemetry", false}, // allowlisted
+		{"greenhetero/internal/livenode", false},  // allowlisted
+		{"greenhetero/internal/daemon", false},    // allowlisted
+		{"greenhetero/internal/trace", false},     // allowlisted
+		{"greenhetero/internal/lint", false},      // not classified
+		{"greenhetero/cmd/greenhetero", false},    // outside internal/
+		{"greenhetero", false},
+		{"fmt", false},
+		{"greenhetero/internal/sim/deep", false}, // only direct children classify
+	}
+	for _, c := range cases {
+		if got := IsDeterministicCore(c.path); got != c.want {
+			t.Errorf("IsDeterministicCore(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		errPart  string
+	}{
+		{"//lint:ghlint ignore floateq golden tables need identity", "floateq", ""},
+		{"//lint:ghlint ignore determinism clock injected in tests // want \"x\"", "determinism", ""},
+		{"//lint:ghlint", "", "bare directive"},
+		{"//lint:ghlint forgive floateq please", "", "unknown verb"},
+		{"//lint:ghlint ignore", "", "missing analyzer"},
+		{"//lint:ghlint ignore nosuch reason", "", "unknown analyzer"},
+		{"//lint:ghlint ignore floateq", "", "missing reason"},
+	}
+	for _, c := range cases {
+		got, err := parseDirective(c.text)
+		if c.errPart == "" {
+			if err != nil || got != c.analyzer {
+				t.Errorf("parseDirective(%q) = %q, %v; want %q, nil", c.text, got, err, c.analyzer)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("parseDirective(%q) err = %v; want containing %q", c.text, err, c.errPart)
+		}
+	}
+}
+
+func TestAnalyzerNamesStable(t *testing.T) {
+	want := []string{"determinism", "seedflow", "unitsafety", "floateq"}
+	got := AnalyzerNames()
+	if len(got) != len(want) {
+		t.Fatalf("AnalyzerNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AnalyzerNames() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		if lookupAnalyzer(name) == nil {
+			t.Errorf("lookupAnalyzer(%q) = nil", name)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package linttest is the fixture harness for ghlint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library: fixture files under testdata/ annotate the lines where an
+// analyzer must fire with `// want "regexp"` comments, and Run fails
+// the test on any missed, unexpected, or mismatched finding.
+//
+// Fixtures live under testdata/ so the go tool never builds them, but
+// they are real, type-checked Go: they may import this module's
+// packages and the standard library, and a fixture that stops
+// type-checking fails the test rather than silently weakening it.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"greenhetero/internal/lint"
+)
+
+// wantRe matches one `// want "…"` annotation; several may share a line
+// inside one comment.
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+// wantQuoted splits the quoted regexp list captured by wantRe.
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want annotation: a diagnostic matching rx must be
+// reported on (file, line).
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+// Run loads the fixture files as one package with the given import path
+// (package-gated analyzers consult the path: pass a deterministic-core
+// path like "greenhetero/internal/sim" to put the fixture in scope),
+// runs the analyzer through the full driver pipeline — suppression
+// directives applied, malformed directives reported — and compares the
+// surviving diagnostics against the fixture's want annotations.
+func Run(t *testing.T, a *lint.Analyzer, importPath string, files ...string) {
+	t.Helper()
+	if len(files) == 0 {
+		t.Fatal("linttest.Run: no fixture files")
+	}
+	for i, f := range files {
+		files[i] = filepath.Join("testdata", f)
+	}
+	pkg, err := lint.LoadFiles(importPath, files...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixtures do not type-check: %v", pkg.TypeErrors)
+	}
+
+	wants := collectWants(t, files)
+	diags := lint.RunPackage(pkg, []*lint.Analyzer{a})
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// collectWants scans the fixture files line-by-line for want
+// annotations; an annotation inside any comment (including directive
+// comments) is honored.
+func collectWants(t *testing.T, files []string) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", name, err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range wantQuoted.FindAllStringSubmatch(m[1], -1) {
+				rx, err := regexp.Compile(unescape(q[1]))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, q[1], err)
+				}
+				wants = append(wants, expectation{file: name, line: i + 1, rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// unescape undoes the \" escapes the quoted form required.
+func unescape(s string) string {
+	return strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(s)
+}

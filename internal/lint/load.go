@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed, type-checked package ready for
+// analysis.
+type Package struct {
+	// Path is the import path ("greenhetero/internal/sim").
+	Path string
+	// Name is the package name.
+	Name string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's expression facts.
+	Info *types.Info
+	// TypeErrors collects type-checking problems the loader tolerated.
+	// Analysis still runs with partial type information, but drivers
+	// should surface these: a finding may be missing behind them.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+}
+
+// Load enumerates the packages matching patterns (as the go tool would,
+// so "./..." works and testdata/ is skipped), parses their non-test
+// files, and type-checks them against source. dir is the directory to
+// resolve patterns from, typically the module root.
+//
+// Type checking uses the standard library's source importer, so the
+// loader needs no pre-built export data and no dependencies outside the
+// Go toolchain — it works in a bare container and in CI alike.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := checkFiles(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, fmt.Errorf("lint: loading %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadFiles parses and type-checks the given files as a single package
+// with the given import path. It is the entry point the fixture test
+// harness uses: fixtures live under testdata/ (invisible to the go
+// tool) but still import real packages, which resolve through the
+// source importer.
+func LoadFiles(importPath string, files ...string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return checkFiles(fset, imp, importPath, files)
+}
+
+// goList shells out to `go list -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// checkFiles parses and type-checks one package's files.
+func checkFiles(fset *token.FileSet, imp types.Importer, importPath string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	// Check records errors through conf.Error and still returns as much
+	// of the package as it could type; analysis degrades gracefully.
+	tpkg, _ := conf.Check(importPath, fset, asts, info)
+
+	name := ""
+	if len(asts) > 0 {
+		name = asts[0].Name.Name
+	}
+	return &Package{
+		Path:       importPath,
+		Name:       name,
+		Fset:       fset,
+		Files:      asts,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrs,
+	}, nil
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SeedflowAnalyzer polices how RNG seeds flow through the deterministic
+// core. Every rand.NewSource (or rand.New, math/rand/v2 NewPCG, …) seed
+// must be traceable to either runner.DeriveSeed or a configuration Seed
+// field. Ad-hoc seed arithmetic — `baseSeed + int64(i)`, a literal, a
+// hash rolled inline — is exactly how correlated noise streams sneak
+// into fan-outs: two runs whose seeds differ by a small offset produce
+// statistically dependent noise, which quietly biases paired-policy
+// comparisons (the EPU deltas the paper's tables hinge on).
+var SeedflowAnalyzer = &Analyzer{
+	Name: "seedflow",
+	Doc: "require RNG seeds in the deterministic core to come from " +
+		"runner.DeriveSeed or a config Seed field, never inline seed " +
+		"arithmetic or literals that correlate fan-out noise streams",
+	Run: runSeedflow,
+}
+
+// seedConstructors maps rand package → the constructor functions whose
+// arguments are seeds.
+var seedConstructors = map[string]map[string]bool{
+	"math/rand":    {"NewSource": true},
+	"math/rand/v2": {"NewPCG": true, "NewSource": true},
+}
+
+func runSeedflow(pass *Pass) {
+	if !IsDeterministicCore(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn := pkgQualifiedCall(pass.Info, call)
+			if !seedConstructors[pkgPath][fn] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if !seedDerived(pass, arg) {
+					pass.Reportf(arg.Pos(),
+						"seed for %s.%s is not derived from runner.DeriveSeed or a Seed config field; ad-hoc seeds correlate fan-out noise streams (derive child seeds with runner.DeriveSeed(parentSeed, stableKey))",
+						pkgPath, fn)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// seedDerived reports whether expr is an acceptable seed expression:
+// a call to (anything.)DeriveSeed, a selector or identifier whose name
+// is Seed-suffixed (cfg.Seed, childSeed), possibly wrapped in
+// parentheses or a type conversion (int64(cfg.Seed), uint64(seed)).
+func seedDerived(pass *Pass, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return seedDerived(pass, e.X)
+	case *ast.CallExpr:
+		// Type conversions are transparent: int64(x) is as good as x.
+		if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return seedDerived(pass, e.Args[0])
+		}
+		return calleeName(e) == "DeriveSeed"
+	case *ast.SelectorExpr:
+		return isSeedName(e.Sel.Name)
+	case *ast.Ident:
+		return isSeedName(e.Name)
+	}
+	return false
+}
+
+// isSeedName reports whether an identifier names a seed by convention.
+func isSeedName(name string) bool {
+	return name == "Seed" || name == "seed" ||
+		strings.HasSuffix(name, "Seed") || strings.HasSuffix(name, "seed")
+}
+
+// calleeName extracts the terminal name of a call's function: DeriveSeed
+// for both runner.DeriveSeed(...) and a local DeriveSeed(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

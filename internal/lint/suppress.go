@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding is silenced with a reasoned, analyzer-scoped comment:
+//
+//	x := sloppy() //lint:ghlint ignore floateq exact identity is intended here
+//
+// Placement rules (deliberately narrow — a directive silences exactly
+// one analyzer on exactly one line):
+//
+//   - A trailing directive (code precedes it on the same line) applies
+//     to its own line.
+//   - A standalone directive (first thing on its line) applies to the
+//     next line, so it can sit above a long expression.
+//
+// The reason is mandatory: a suppression without a recorded
+// justification is treated as malformed, and malformed directives are
+// themselves reported — a typo in an analyzer name can never silently
+// widen the blind spot.
+
+// directivePrefix introduces a ghlint directive comment.
+const directivePrefix = "//lint:ghlint"
+
+// suppressionSet indexes well-formed directives for filtering.
+type suppressionSet map[string]map[int][]string // file → line → analyzers
+
+// suppresses reports whether d is silenced by a directive.
+func (s suppressionSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, name := range s[pos.Filename][pos.Line] {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans the files' comments for ghlint directives.
+// Well-formed directives populate the returned set; malformed ones
+// (wrong verb, unknown analyzer, missing reason) come back as
+// diagnostics attributed to the pseudo-analyzer "ghlint".
+func collectDirectives(fset *token.FileSet, files []*ast.File) (suppressionSet, []Diagnostic) {
+	set := make(suppressionSet)
+	var diags []Diagnostic
+	for _, f := range files {
+		codeLines := codeLineSet(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				target := pos.Line + 1 // standalone: applies to the next line
+				if codeLines[pos.Line] {
+					target = pos.Line // trailing: applies to its own line
+				}
+				name, err := parseDirective(c.Text)
+				if err != nil {
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "ghlint",
+						Message:  fmt.Sprintf("malformed ghlint directive: %v", err),
+					})
+					continue
+				}
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					set[pos.Filename] = byLine
+				}
+				byLine[target] = append(byLine[target], name)
+			}
+		}
+	}
+	return set, diags
+}
+
+// parseDirective validates a directive comment and returns the analyzer
+// it names. The expected shape is:
+//
+//	//lint:ghlint ignore <analyzer> <reason...>
+//
+// Any trailing "// want ..." marker (used by the fixture test harness
+// to annotate expected findings) is stripped before parsing so fixtures
+// can exercise directives and expectations on one line.
+func parseDirective(text string) (analyzer string, err error) {
+	body := strings.TrimPrefix(text, directivePrefix)
+	if i := strings.Index(body, "// want"); i >= 0 {
+		body = body[:i]
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("want %q, got bare directive", directivePrefix+" ignore <analyzer> <reason>")
+	}
+	if fields[0] != "ignore" {
+		return "", fmt.Errorf("unknown verb %q (only \"ignore\" is supported)", fields[0])
+	}
+	if len(fields) < 2 {
+		return "", fmt.Errorf("missing analyzer name (one of %s)", strings.Join(AnalyzerNames(), ", "))
+	}
+	name := fields[1]
+	if lookupAnalyzer(name) == nil {
+		return "", fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(AnalyzerNames(), ", "))
+	}
+	if len(fields) < 3 {
+		return "", fmt.Errorf("missing reason: every suppression must record why")
+	}
+	return name, nil
+}
+
+// codeLineSet returns the set of lines in f that contain code tokens
+// (comments excluded), used to distinguish trailing from standalone
+// directives. Any line with code has some AST node starting on it, so
+// recording each node's start (and end, for multi-line nodes' closing
+// tokens) is sufficient.
+func codeLineSet(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if n.Pos().IsValid() {
+			lines[fset.Position(n.Pos()).Line] = true
+		}
+		if n.End().IsValid() {
+			lines[fset.Position(n.End()-1).Line] = true
+		}
+		return true
+	})
+	return lines
+}

@@ -1,0 +1,38 @@
+// Fixture for the determinism analyzer: the harness loads this file
+// under a deterministic-core import path, so every nondeterministic
+// input below must be flagged, while config-seeded RNG use passes.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	stdtime "time"
+)
+
+// Config mirrors the repo's run configs: the seed is data, not time.
+type Config struct {
+	Seed int64
+}
+
+func bad(c Config) float64 {
+	t := stdtime.Now()             // want "reads the wall clock"
+	elapsed := stdtime.Since(t)    // want "reads the wall clock"
+	jitter := rand.Float64()       // want "process-global RNG"
+	n := rand.Intn(10)             // want "process-global RNG"
+	home := os.Getenv("HOME")      // want "reads the environment"
+	workers := runtime.NumCPU()    // want "depends on the host CPU count"
+	procs := runtime.GOMAXPROCS(0) // want "depends on the host CPU count"
+	return float64(len(home)+n+workers+procs) + jitter + elapsed.Seconds()
+}
+
+func good(c Config) float64 {
+	rng := rand.New(rand.NewSource(c.Seed)) // constructors with explicit seeds are fine
+	d := 5 * stdtime.Minute                 // time arithmetic without the wall clock is fine
+	return rng.Float64() + d.Hours()
+}
+
+func suppressed(c Config) stdtime.Time {
+	//lint:ghlint ignore determinism fixture: demonstrating a reasoned suppression
+	return stdtime.Now()
+}

@@ -1,0 +1,41 @@
+// Fixture for the floateq analyzer: identity comparison between two
+// computed floats is flagged; comparisons against constants and
+// comparisons inside approved epsilon helpers are not.
+package floateq
+
+import "math"
+
+func bad(a, b float64, xs []float64) bool {
+	if a == b { // want "non-constant floating-point"
+		return true
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum != a*b // want "non-constant floating-point"
+}
+
+func good(a, b float64) bool {
+	if a == 0 || b != 1.5 { // constants are intentional sentinels
+		return false
+	}
+	if math.Abs(a-b) <= 1e-9 { // the blessed pattern
+		return true
+	}
+	n := int(a)
+	return n == int(b) // integer identity is exact
+}
+
+// approxEqual is on the approved-helper list: exact identity here is
+// the fast path of a tolerance check.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //lint:ghlint ignore floateq fixture: bit-identity is the contract under test
+}

@@ -1,0 +1,37 @@
+// Fixture for the seedflow analyzer: seeds reaching rand.NewSource in
+// the deterministic core must come from runner.DeriveSeed or a Seed
+// config field — inline seed arithmetic correlates fan-out streams.
+package seedflow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"greenhetero/internal/runner"
+)
+
+// Config mirrors the repo's fan-out configs.
+type Config struct {
+	Seed int64
+}
+
+func bad(cfg Config, i int) *rand.Rand {
+	a := rand.NewSource(42)                  // want "not derived from runner.DeriveSeed"
+	b := rand.NewSource(cfg.Seed + int64(i)) // want "not derived from runner.DeriveSeed"
+	_ = a
+	return rand.New(b)
+}
+
+func good(cfg Config, i int) *rand.Rand {
+	direct := rand.NewSource(cfg.Seed)
+	derived := rand.NewSource(runner.DeriveSeed(cfg.Seed, fmt.Sprintf("run/%d", i)))
+	converted := rand.NewSource(int64(uint64(cfg.Seed)))
+	childSeed := runner.DeriveSeed(cfg.Seed, "child")
+	named := rand.NewSource(childSeed)
+	_, _, _ = direct, derived, converted
+	return rand.New(named)
+}
+
+func suppressed(i int) rand.Source {
+	return rand.NewSource(int64(i)) //lint:ghlint ignore seedflow fixture: deliberate raw seed
+}

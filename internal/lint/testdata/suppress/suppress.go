@@ -1,0 +1,42 @@
+// Fixture for the suppression mechanism, run through the determinism
+// analyzer. It pins down the directive contract:
+//
+//   - a trailing directive silences exactly the named analyzer on
+//     exactly its own line;
+//   - a standalone directive silences the next line;
+//   - a directive naming a different analyzer silences nothing;
+//   - malformed directives (bad verb, unknown analyzer, missing
+//     reason) are themselves diagnostics.
+package suppress
+
+import "time"
+
+func trailing() time.Time {
+	return time.Now() //lint:ghlint ignore determinism fixture: trailing form
+}
+
+func standalone() time.Time {
+	//lint:ghlint ignore determinism fixture: standalone form covers the next line
+	return time.Now()
+}
+
+func wrongAnalyzer() time.Time {
+	return time.Now() //lint:ghlint ignore floateq wrong analyzer does not silence // want "reads the wall clock"
+}
+
+func wrongLine() time.Time {
+	//lint:ghlint ignore determinism fixture: standalone form reaches one line only
+	t := time.Unix(0, 0)
+	_ = t
+	return time.Now() // want "reads the wall clock"
+}
+
+func malformed() time.Time {
+	t1 := time.Now() //lint:ghlint pardon determinism not a verb // want "reads the wall clock" "unknown verb"
+	t2 := time.Now() //lint:ghlint ignore nosuchanalyzer because // want "reads the wall clock" "unknown analyzer"
+	t3 := time.Now() //lint:ghlint ignore determinism // want "reads the wall clock" "missing reason"
+	if t1.After(t2) {
+		return t1
+	}
+	return t3
+}

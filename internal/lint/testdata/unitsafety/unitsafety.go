@@ -1,0 +1,42 @@
+// Fixture for the unitsafety analyzer: additive arithmetic and
+// comparisons may not mix watt-suffixed and watt-hour-suffixed
+// identifiers; multiplicative conversion is the legal path between the
+// two dimensions.
+package unitsafety
+
+import "time"
+
+// Bank mirrors internal/battery's unit-suffixed field naming.
+type Bank struct {
+	CapacityWh float64
+	ChargeWh   float64
+	MaxChargeW float64
+	PeakWatts  float64
+}
+
+// EnergyWh is a unit-suffixed accessor, classified like a field.
+func (b Bank) EnergyWh() float64 { return b.ChargeWh }
+
+func bad(b Bank, gridW, loadWh float64) float64 {
+	sum := gridW + loadWh            // want "mixes"
+	if b.MaxChargeW > b.CapacityWh { // want "mixes"
+		sum -= b.ChargeWh
+	}
+	diff := b.PeakWatts - b.EnergyWh() // want "mixes"
+	headroomWh := b.CapacityWh
+	headroomWh -= gridW // want "mixes"
+	return sum + diff + headroomWh
+}
+
+func good(b Bank, gridW, loadWh float64, d time.Duration) float64 {
+	energyWh := gridW*d.Hours() + loadWh // multiplication converts W to Wh
+	powerW := gridW + b.MaxChargeW       // same dimension adds fine
+	ratio := b.ChargeWh / b.CapacityWh   // division of like units is fine
+	raw := gridW + ratio                 // unitless operand: no mix
+	return energyWh + raw + powerW*0
+}
+
+func suppressed(gridW, loadWh float64) float64 {
+	//lint:ghlint ignore unitsafety fixture: intentionally dimensionless blend
+	return gridW + loadWh
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// UnitsafetyAnalyzer rejects arithmetic that mixes power (watts) with
+// energy (watt-hours) without an explicit conversion. The repository's
+// naming convention carries the unit in the identifier suffix —
+// CapacityWh, MaxChargeW, GridBudgetW, PeakWatts — which makes the
+// dimensional error `chargeWh + maxChargeW` mechanically detectable.
+// Multiplication and division are exempt (W × hours = Wh is precisely
+// how units convert); addition, subtraction, and comparisons between a
+// W-suffixed and a Wh-suffixed operand are always bugs unless one side
+// passed through a named conversion first.
+var UnitsafetyAnalyzer = &Analyzer{
+	Name: "unitsafety",
+	Doc: "flag additive arithmetic and comparisons mixing watt-suffixed " +
+		"(W/Watts) and watt-hour-suffixed (Wh) identifiers without a " +
+		"named conversion helper",
+	Run: runUnitsafety,
+}
+
+// unit is the dimension inferred from an identifier suffix.
+type unit int
+
+const (
+	unitNone   unit = iota
+	unitPower       // …W, …Watts
+	unitEnergy      // …Wh
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitPower:
+		return "power (W)"
+	case unitEnergy:
+		return "energy (Wh)"
+	default:
+		return "unitless"
+	}
+}
+
+// mixableOps are the operators across which units must agree.
+var mixableOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+}
+
+func runUnitsafety(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !mixableOps[n.Op] {
+					return true
+				}
+				checkUnits(pass, n.OpPos, n.Op, n.X, n.Y)
+			case *ast.AssignStmt:
+				if !mixableOps[n.Tok] || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				checkUnits(pass, n.TokPos, n.Tok, n.Lhs[0], n.Rhs[0])
+			}
+			return true
+		})
+	}
+}
+
+// checkUnits reports when x and y carry conflicting unit suffixes.
+func checkUnits(pass *Pass, opPos token.Pos, op token.Token, x, y ast.Expr) {
+	ux, nx := unitOf(x)
+	uy, ny := unitOf(y)
+	if ux == unitNone || uy == unitNone || ux == uy {
+		return
+	}
+	pass.Reportf(opPos,
+		"%q mixes %s (%s) with %s (%s); convert explicitly (power × duration.Hours() = energy) or go through a named conversion helper",
+		op.String(), nx, ux, ny, uy)
+}
+
+// unitOf infers the unit an expression carries from its terminal
+// identifier: plain identifiers, field selectors, and calls of
+// unit-suffixed accessors (r.GridEnergyWh()). Parentheses and unary
+// minus are transparent. Products, quotients, and anything else return
+// unitNone — a product's unit is not the unit of either factor.
+func unitOf(expr ast.Expr) (unit, string) {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return unitOf(e.X)
+		}
+	case *ast.Ident:
+		return unitOfName(e.Name), e.Name
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name), e.Sel.Name
+	case *ast.CallExpr:
+		if name := calleeName(e); name != "" {
+			return unitOfName(name), name + "()"
+		}
+	}
+	return unitNone, ""
+}
+
+// unitOfName classifies a name by its unit suffix. The suffix must be
+// preceded by a lowercase letter or digit (a camel-case boundary), so
+// bare loop variables like "w" and words that merely end in the letters
+// do not classify.
+func unitOfName(name string) unit {
+	switch {
+	case suffixAtBoundary(name, "Wh"):
+		return unitEnergy
+	case suffixAtBoundary(name, "W"), suffixAtBoundary(name, "Watts"):
+		return unitPower
+	}
+	return unitNone
+}
+
+// suffixAtBoundary reports whether name ends in suffix with a camel-case
+// boundary right before it.
+func suffixAtBoundary(name, suffix string) bool {
+	if !strings.HasSuffix(name, suffix) || len(name) == len(suffix) {
+		return false
+	}
+	prev := name[len(name)-len(suffix)-1]
+	return prev >= 'a' && prev <= 'z' || prev >= '0' && prev <= '9'
+}
