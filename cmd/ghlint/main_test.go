@@ -9,14 +9,23 @@ import (
 )
 
 // chdirRepoRoot moves the test into the module root so package patterns
-// resolve the same way they do for `go run ./cmd/ghlint`.
+// resolve the same way they do for `go run ./cmd/ghlint`. os.Chdir with
+// a cleanup rather than t.Chdir, which requires go1.24 while go.mod and
+// CI pin go1.22.
 func chdirRepoRoot(t *testing.T) {
 	t.Helper()
 	wd, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Chdir(filepath.Join(wd, "..", ".."))
+	if err := os.Chdir(filepath.Join(wd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Errorf("restoring working directory: %v", err)
+		}
+	})
 }
 
 func TestRunCleanPackage(t *testing.T) {

@@ -12,7 +12,8 @@ import (
 const corePath = "greenhetero/internal/sim"
 
 func TestDeterminismAnalyzer(t *testing.T) {
-	linttest.Run(t, lint.DeterminismAnalyzer, corePath, "determinism/determinism.go")
+	linttest.Run(t, lint.DeterminismAnalyzer, corePath,
+		"determinism/determinism.go", "determinism/dotimport.go")
 }
 
 func TestSeedflowAnalyzer(t *testing.T) {

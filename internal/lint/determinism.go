@@ -20,8 +20,9 @@ var DeterminismAnalyzer = &Analyzer{
 }
 
 // forbiddenCalls maps package path → function name → the reason the
-// call is nondeterministic. Only calls through the package selector are
-// matched, which is exactly how these functions are reached.
+// call is nondeterministic. Matching is by the type-checker's resolution
+// of every identifier use, so plain pkg.Fn calls, dot-imported bare
+// calls, and function-value references (now := time.Now) are all caught.
 var forbiddenCalls = map[string]map[string]string{
 	"time": {
 		"Now":   "reads the wall clock",
@@ -55,23 +56,28 @@ func runDeterminism(pass *Pass) {
 	if !IsDeterministicCore(pass.Path) {
 		return
 	}
+	// Every identifier use the type-checker resolved to a package-level
+	// function is checked, not just pkg.Fn selector calls: that catches
+	// dot-imported bare calls (import . "time"; Now()) and forbidden
+	// functions captured as values (now := time.Now; now()) at the point
+	// the function is named, where a call-only walk would miss them.
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
+			id, ok := n.(*ast.Ident)
 			if !ok {
 				return true
 			}
-			pkgPath, fn := pkgQualifiedCall(pass.Info, call)
+			pkgPath, fn := usedPackageFunc(pass.Info, id)
 			if pkgPath == "" {
 				return true
 			}
 			if reason, ok := forbiddenCalls[pkgPath][fn]; ok {
-				pass.Reportf(call.Pos(),
+				pass.Reportf(id.Pos(),
 					"%s.%s %s; deterministic-core packages must derive everything from the run Config (move the call behind an injected clock/knob or to an allowlisted package)",
 					pkgPath, fn, reason)
 			}
 			if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !globalRandAllowed[fn] {
-				pass.Reportf(call.Pos(),
+				pass.Reportf(id.Pos(),
 					"%s.%s draws from the process-global RNG; deterministic-core packages must use a rand.Rand seeded from the run Config (rand.New(rand.NewSource(seed)))",
 					pkgPath, fn)
 			}
@@ -80,22 +86,43 @@ func runDeterminism(pass *Pass) {
 	}
 }
 
-// pkgQualifiedCall resolves a call of the form pkg.Fn(...) to its
-// package import path and function name, following the type-checker's
-// resolution so import aliases cannot hide a forbidden call. Non-package
-// selectors (method calls, field accesses) return "".
+// usedPackageFunc resolves an identifier use to the package-level
+// function it names, whether reached through a selector (time.Now),
+// a dot-import (Now), or a value reference (now := time.Now). Methods
+// are excluded: rng.Float64() on a caller-owned *rand.Rand is exactly
+// the deterministic pattern the analyzer steers code toward, even
+// though the method shares its name with the forbidden global.
+func usedPackageFunc(info *types.Info, id *ast.Ident) (pkgPath, fn string) {
+	obj, ok := info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// pkgQualifiedCall resolves a call to its package import path and
+// function name, following the type-checker's resolution so import
+// aliases and dot-imports cannot hide a forbidden call. Method calls,
+// field accesses, and calls of local function values return "".
 func pkgQualifiedCall(info *types.Info, call *ast.CallExpr) (pkgPath, fn string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", ""
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id, ok := f.X.(*ast.Ident)
+		if !ok {
+			return "", ""
+		}
+		pn, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return "", ""
+		}
+		return pn.Imported().Path(), f.Sel.Name
+	case *ast.Ident:
+		// Dot-imported: the bare identifier resolves straight to the
+		// imported package's function.
+		return usedPackageFunc(info, f)
 	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return "", ""
-	}
-	pn, ok := info.Uses[id].(*types.PkgName)
-	if !ok {
-		return "", ""
-	}
-	return pn.Imported().Path(), sel.Sel.Name
+	return "", ""
 }

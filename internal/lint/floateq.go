@@ -26,27 +26,30 @@ var FloateqAnalyzer = &Analyzer{
 func runFloateq(pass *Pass) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				// Approved epsilon helpers may compare exactly; closures
+				// inside them inherit the approval.
+				if approvedFloatEqHelpers[fd.Name.Name] {
+					continue
+				}
+				if fd.Body != nil {
+					inspectFloatEq(pass, fd.Body)
+				}
 				continue
 			}
-			// Approved epsilon helpers may compare exactly; closures
-			// inside them inherit the approval.
-			if approvedFloatEqHelpers[fd.Name.Name] {
-				continue
-			}
-			inspectFloatEq(pass, fd.Body)
+			// Package-level declarations carry comparisons too: var
+			// initializers, including closures bound to vars (var cmp =
+			// func(a, b float64) bool { return a == b }). The approved-
+			// helper exemption is for named FuncDecls only.
+			inspectFloatEq(pass, decl)
 		}
 	}
 }
 
-// inspectFloatEq walks a function body reporting float identity
-// comparisons.
-func inspectFloatEq(pass *Pass, body *ast.BlockStmt) {
-	if body == nil {
-		return
-	}
-	ast.Inspect(body, func(n ast.Node) bool {
+// inspectFloatEq walks a declaration or function body reporting float
+// identity comparisons.
+func inspectFloatEq(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
 		be, ok := n.(*ast.BinaryExpr)
 		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
 			return true

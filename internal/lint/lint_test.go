@@ -59,6 +59,18 @@ func TestParseDirective(t *testing.T) {
 	}
 }
 
+// TestCheckDirIsCwd pins Load's contract that dir names the process
+// working directory, the only root the source importer can resolve
+// module-local imports against.
+func TestCheckDirIsCwd(t *testing.T) {
+	if err := checkDirIsCwd("."); err != nil {
+		t.Errorf(`checkDirIsCwd(".") = %v, want nil`, err)
+	}
+	if err := checkDirIsCwd(t.TempDir()); err == nil {
+		t.Error("checkDirIsCwd(non-cwd) = nil, want error")
+	}
+}
+
 func TestAnalyzerNamesStable(t *testing.T) {
 	want := []string{"determinism", "seedflow", "unitsafety", "floateq"}
 	got := AnalyzerNames()

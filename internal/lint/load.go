@@ -10,6 +10,7 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 )
@@ -46,12 +47,21 @@ type listedPackage struct {
 // Load enumerates the packages matching patterns (as the go tool would,
 // so "./..." works and testdata/ is skipped), parses their non-test
 // files, and type-checks them against source. dir is the directory to
-// resolve patterns from, typically the module root.
+// resolve patterns from — typically "." — and MUST be the process
+// working directory: `go list` runs with cmd.Dir = dir, but the source
+// importer resolves module-local imports through a build context rooted
+// at the cwd, so a dir elsewhere would enumerate one tree and
+// type-check against another. Load fails fast on a mismatch rather
+// than silently mixing trees; callers that need another root should
+// chdir first (as the driver's tests do).
 //
 // Type checking uses the standard library's source importer, so the
 // loader needs no pre-built export data and no dependencies outside the
 // Go toolchain — it works in a bare container and in CI alike.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	if err := checkDirIsCwd(dir); err != nil {
+		return nil, err
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -89,6 +99,29 @@ func LoadFiles(importPath string, files ...string) (*Package, error) {
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
 	return checkFiles(fset, imp, importPath, files)
+}
+
+// checkDirIsCwd enforces Load's contract that dir names the process
+// working directory (symlinks resolved), the only root the source
+// importer can type-check module-local imports against.
+func checkDirIsCwd(dir string) error {
+	wd, err := os.Getwd()
+	if err != nil {
+		return fmt.Errorf("lint: getwd: %v", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return fmt.Errorf("lint: resolving dir %q: %v", dir, err)
+	}
+	if abs == wd {
+		return nil
+	}
+	ra, errA := filepath.EvalSymlinks(abs)
+	rw, errW := filepath.EvalSymlinks(wd)
+	if errA == nil && errW == nil && ra == rw {
+		return nil
+	}
+	return fmt.Errorf("lint: Load dir %q is not the working directory %q; the source importer resolves module-local imports relative to the cwd, so chdir to dir before calling Load", dir, wd)
 }
 
 // goList shells out to `go list -json` and decodes the stream.

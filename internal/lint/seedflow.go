@@ -43,7 +43,7 @@ func runSeedflow(pass *Pass) {
 				return true
 			}
 			for _, arg := range call.Args {
-				if !seedDerived(pass, arg) {
+				if !seedDerived(pass, arg, true) {
 					pass.Reportf(arg.Pos(),
 						"seed for %s.%s is not derived from runner.DeriveSeed or a Seed config field; ad-hoc seeds correlate fan-out noise streams (derive child seeds with runner.DeriveSeed(parentSeed, stableKey))",
 						pkgPath, fn)
@@ -55,25 +55,71 @@ func runSeedflow(pass *Pass) {
 }
 
 // seedDerived reports whether expr is an acceptable seed expression:
-// a call to (anything.)DeriveSeed, a selector or identifier whose name
-// is Seed-suffixed (cfg.Seed, childSeed), possibly wrapped in
-// parentheses or a type conversion (int64(cfg.Seed), uint64(seed)).
-func seedDerived(pass *Pass, expr ast.Expr) bool {
+// a call to (anything.)DeriveSeed, a selector whose field name is
+// Seed-suffixed (cfg.Seed), or a Seed-named identifier, possibly
+// wrapped in parentheses or a type conversion (int64(cfg.Seed)).
+//
+// A Seed-suffixed name alone is not trusted: when trace is set, a local
+// identifier with a single-assignment initializer is judged by that
+// initializer instead, so `badSeed := cfg.Seed + int64(i)` cannot
+// launder inline seed arithmetic through a flattering name. The trace
+// is one step deep — an identifier reached through another identifier,
+// or one whose declaration cannot be seen (a parameter, a field, a
+// multi-value assignment, a later reassignment), falls back to the
+// name convention.
+func seedDerived(pass *Pass, expr ast.Expr, trace bool) bool {
 	switch e := expr.(type) {
 	case *ast.ParenExpr:
-		return seedDerived(pass, e.X)
+		return seedDerived(pass, e.X, trace)
 	case *ast.CallExpr:
 		// Type conversions are transparent: int64(x) is as good as x.
 		if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
-			return seedDerived(pass, e.Args[0])
+			return seedDerived(pass, e.Args[0], trace)
 		}
 		return calleeName(e) == "DeriveSeed"
 	case *ast.SelectorExpr:
 		return isSeedName(e.Sel.Name)
 	case *ast.Ident:
+		if trace {
+			if init := identInitializer(e); init != nil {
+				return seedDerived(pass, init, false)
+			}
+		}
 		return isSeedName(e.Name)
 	}
 	return false
+}
+
+// identInitializer returns the expression a locally declared identifier
+// was initialized with (`x := expr` or `var x = expr`), or nil when the
+// declaration is out of reach: a parameter, a struct field, a spec with
+// no value, or a multi-value assignment whose components cannot be
+// paired positionally.
+func identInitializer(id *ast.Ident) ast.Expr {
+	if id.Obj == nil {
+		return nil
+	}
+	switch decl := id.Obj.Decl.(type) {
+	case *ast.AssignStmt:
+		if len(decl.Lhs) != len(decl.Rhs) {
+			return nil
+		}
+		for i, lhs := range decl.Lhs {
+			if li, ok := lhs.(*ast.Ident); ok && li.Obj == id.Obj {
+				return decl.Rhs[i]
+			}
+		}
+	case *ast.ValueSpec:
+		if len(decl.Values) != len(decl.Names) {
+			return nil
+		}
+		for i, name := range decl.Names {
+			if name.Obj == id.Obj {
+				return decl.Values[i]
+			}
+		}
+	}
+	return nil
 }
 
 // isSeedName reports whether an identifier names a seed by convention.

@@ -1,0 +1,22 @@
+// Fixture for the determinism analyzer's resolution hardening: neither
+// a dot-import nor a function-value alias may hide a forbidden call.
+// The analyzer matches the type-checker's resolution of every
+// identifier use, not the pkg.Fn spelling, so a bare Now() and a
+// captured `clock := Now` are flagged exactly like time.Now().
+package determinism
+
+import (
+	. "math/rand"
+	. "time"
+)
+
+func badDotImport() float64 {
+	t := Now()                                 // want "reads the wall clock"
+	return Float64() + float64(t.Nanosecond()) // want "process-global RNG"
+}
+
+func badValueAlias() Duration {
+	clock := Now // want "reads the wall clock"
+	start := clock()
+	return Since(start) // want "reads the wall clock"
+}

@@ -36,6 +36,12 @@ func approxEqual(a, b, tol float64) bool {
 	return math.Abs(a-b) <= tol
 }
 
+// Package-level initializers are inspected too; a closure bound to a
+// var does not escape the analyzer.
+var looseCmp = func(a, b float64) bool {
+	return a == b // want "non-constant floating-point"
+}
+
 func suppressed(a, b float64) bool {
 	return a == b //lint:ghlint ignore floateq fixture: bit-identity is the contract under test
 }

@@ -22,6 +22,20 @@ func bad(cfg Config, i int) *rand.Rand {
 	return rand.New(b)
 }
 
+func badNamed(cfg Config, i int) rand.Source {
+	// A flattering Seed-suffixed name cannot launder inline seed
+	// arithmetic: the analyzer traces a local identifier back to its
+	// initializer.
+	offsetSeed := cfg.Seed + int64(i)
+	return rand.NewSource(offsetSeed) // want "not derived from runner.DeriveSeed"
+}
+
+func goodParam(childSeed int64) rand.Source {
+	// Parameters cannot be traced; a Seed-suffixed name is the
+	// caller's contract.
+	return rand.NewSource(childSeed)
+}
+
 func good(cfg Config, i int) *rand.Rand {
 	direct := rand.NewSource(cfg.Seed)
 	derived := rand.NewSource(runner.DeriveSeed(cfg.Seed, fmt.Sprintf("run/%d", i)))
