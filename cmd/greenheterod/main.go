@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	greenheterod [-listen 127.0.0.1:7946] [-tick 1s]
+//	greenheterod [-listen 127.0.0.1:7946] [-tick 1s] [-history 1024]
 //	             [-combo Comb1] [-workload specjbb] [-policy GreenHetero]
 //	             [-trace high|low] [-grid 1000] [-panel 2200] [-seed 7]
 //
@@ -63,6 +63,7 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("greenheterod", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7946", "HTTP listen address")
 	tick := fs.Duration("tick", time.Second, "wall-clock time per scheduling epoch")
+	history := fs.Int("history", 1024, "epochs retained for /history")
 	comboFlag := fs.String("combo", "Comb1", "server combination (Comb1..Comb6)")
 	workloadFlag := fs.String("workload", workload.SPECjbb, "workload id")
 	policyFlag := fs.String("policy", "GreenHetero", "allocation policy (Table III name)")
@@ -96,14 +97,16 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-	d, err := daemon.New(daemon.Config{Session: session, Tick: *tick})
+	d, err := daemon.New(daemon.Config{Session: session, Tick: *tick, HistoryLimit: *history})
 	if err != nil {
 		return err
 	}
+	// Stop is safe in any state, so the deferred cleanup can be
+	// registered before Start: an error path below still tears down.
+	defer d.Stop()
 	if err := d.Start(); err != nil {
 		return err
 	}
-	defer d.Stop()
 
 	srv := &http.Server{Addr: *listen, Handler: d.Handler()}
 	errCh := make(chan error, 1)

@@ -80,21 +80,27 @@ func run() error {
 		Battery:     bank,
 		GridBudgetW: 700,
 		Epoch:       15 * time.Minute,
-		Prober:      &livenode.Prober{GroupAddrs: groupAddrs},
+		Prober:      &livenode.Prober{GroupAddrs: groupAddrs, Retry: telemetry.RetryPolicy{Attempts: 3, Seed: 42}},
 	})
 	if err != nil {
 		return err
 	}
 
-	// Flatten the address list for the Monitor's epoch sweep.
+	// Flatten the address list for the Monitor's epoch sweep. The
+	// collector keeps one persistent connection per agent, retries with
+	// seeded backoff, and trips a per-agent breaker on repeated failure;
+	// a failed minority is served from last-known-good readings (Stale).
 	var all []string
 	for _, as := range groupAddrs {
 		all = append(all, as...)
 	}
-	collector, err := telemetry.NewCollector(all)
+	collector, err := telemetry.NewCollector(all,
+		telemetry.WithRetry(telemetry.RetryPolicy{Attempts: 3, Seed: 42}),
+		telemetry.WithBreaker(telemetry.BreakerConfig{FailureThreshold: 5, CooldownEpochs: 2}))
 	if err != nil {
 		return err
 	}
+	defer collector.Close()
 
 	ctx := context.Background()
 	var demand float64
@@ -103,9 +109,11 @@ func run() error {
 	}
 	renewables := []float64{0, 300, 600, 900, 700, 400} // a morning's ramp
 
-	fmt.Println("\nepoch  case  supply(W)  PAR    rack draw(W)  rack perf")
+	fmt.Println("\nepoch  case  supply(W)  PAR    rack draw(W)  rack perf  stale")
+	degraded := false // did last epoch's collection serve stale readings?
+	staleTotal := 0
 	for epoch, ren := range renewables {
-		dec, err := ctrl.Step(ren, demand, w)
+		dec, err := ctrl.StepObserved(core.Observation{RenewableW: ren, DemandW: demand, Stale: degraded}, w)
 		if err != nil {
 			return err
 		}
@@ -123,6 +131,7 @@ func run() error {
 			return err
 		}
 		var drawW, perf float64
+		staleEpoch := 0
 		feedback := map[int][]fit.Sample{}
 		groupIdx := indexAddrs(rack, groupAddrs)
 		for _, r := range results {
@@ -132,10 +141,19 @@ func run() error {
 			}
 			drawW += r.Reading.PowerW
 			perf += r.Reading.Perf
+			if r.Stale {
+				// Last-known-good readings keep the aggregates meaningful
+				// but are replays, not measurements: never feed them back
+				// into the database.
+				staleEpoch++
+				continue
+			}
 			if gi, ok := groupIdx[r.Addr]; ok && r.Reading.PowerW > 0 {
 				feedback[gi] = append(feedback[gi], fit.Sample{X: r.Reading.PowerW, Y: r.Reading.Perf})
 			}
 		}
+		degraded = staleEpoch > 0
+		staleTotal += staleEpoch
 		if err := ctrl.Feedback(w, feedback); err != nil {
 			return err
 		}
@@ -147,10 +165,18 @@ func run() error {
 		if sum > 0 {
 			par = dec.Fractions[0] / sum
 		}
-		fmt.Printf("%5d  %-4s  %9.0f  %.2f   %12.0f  %9.0f\n",
-			epoch, dec.Case, dec.SupplyW, par, drawW, perf)
+		fmt.Printf("%5d  %-4s  %9.0f  %.2f   %12.0f  %9.0f  %5d\n",
+			epoch, dec.Case, dec.SupplyW, par, drawW, perf, staleEpoch)
 	}
 	fmt.Printf("\ndatabase holds %d (config, workload) projections, trained and refined over TCP\n", db.Len())
+	fmt.Printf("stale readings served: %d", staleTotal)
+	open := 0
+	for _, h := range collector.Health() {
+		if h.State != telemetry.BreakerClosed {
+			open++
+		}
+	}
+	fmt.Printf("; agents with tripped breakers: %d\n", open)
 	return nil
 }
 

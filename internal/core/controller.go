@@ -175,6 +175,10 @@ type Decision struct {
 	// TrainingRun reports whether this epoch ran a training run
 	// instead of a policy allocation.
 	TrainingRun bool
+	// Degraded reports that the epoch ran on stale (last-known-good)
+	// observations from a degraded Monitor collection: the decision
+	// stands, but the predictors were not fed.
+	Degraded bool
 	// Unconstrained reports a Case A epoch: supply covers demand, so no
 	// power capping is enforced and servers run under the ondemand
 	// governor at their natural draw (the paper observes that adaptive
@@ -184,23 +188,50 @@ type Decision struct {
 	Unconstrained bool
 }
 
+// Observation is one epoch's measured controller inputs, with
+// provenance: Stale marks values carried over from the Monitor's
+// last-known-good readings (degraded collection) instead of fresh
+// samples.
+type Observation struct {
+	// RenewableW is the renewable power measured during this epoch.
+	RenewableW float64
+	// DemandW is the rack demand observed last epoch.
+	DemandW float64
+	// Stale marks a degraded observation. The controller still plans
+	// and enforces — the rack must keep running through a partial
+	// Monitor outage — but the predictors skip it: replayed values
+	// would teach the smoothers a flat line nobody measured.
+	Stale bool
+}
+
 // Step runs one scheduling epoch with every group running the same
 // workload. obsRenewableW is the renewable power measured during this
 // epoch (the PSC sees it in real time; the *predictors* only consume it
 // at the end of the step, so planning uses forecasts). obsDemandW is the
 // rack demand observed last epoch.
 func (c *Controller) Step(obsRenewableW, obsDemandW float64, w workload.Workload) (Decision, error) {
+	return c.StepObserved(Observation{RenewableW: obsRenewableW, DemandW: obsDemandW}, w)
+}
+
+// StepObserved is Step with explicit observation provenance.
+func (c *Controller) StepObserved(obs Observation, w workload.Workload) (Decision, error) {
 	ws := make([]workload.Workload, c.cfg.Rack.NumGroups())
 	for i := range ws {
 		ws[i] = w
 	}
-	return c.StepMixed(obsRenewableW, obsDemandW, ws)
+	return c.StepMixedObserved(obs, ws)
 }
 
 // StepMixed is Step for mixed racks: each group runs its own workload
 // (one entry per rack group). Real datacenter racks collocate services;
 // the database keys per (configuration, workload) pair either way.
 func (c *Controller) StepMixed(obsRenewableW, obsDemandW float64, groupWs []workload.Workload) (Decision, error) {
+	return c.StepMixedObserved(Observation{RenewableW: obsRenewableW, DemandW: obsDemandW}, groupWs)
+}
+
+// StepMixedObserved is StepMixed with explicit observation provenance.
+func (c *Controller) StepMixedObserved(obs Observation, groupWs []workload.Workload) (Decision, error) {
+	obsRenewableW, obsDemandW := obs.RenewableW, obs.DemandW
 	if obsRenewableW < 0 || obsDemandW < 0 {
 		return Decision{}, fmt.Errorf("core: negative observation ren=%v dem=%v", obsRenewableW, obsDemandW)
 	}
@@ -212,7 +243,7 @@ func (c *Controller) StepMixed(obsRenewableW, obsDemandW float64, groupWs []work
 			return Decision{}, fmt.Errorf("core: group %d: empty workload", i)
 		}
 	}
-	d := Decision{Epoch: c.epochIdx}
+	d := Decision{Epoch: c.epochIdx, Degraded: obs.Stale}
 	c.epochIdx++
 
 	// 1. Predict. Until the smoothers are primed, fall back to the
@@ -296,9 +327,12 @@ func (c *Controller) StepMixed(obsRenewableW, obsDemandW float64, groupWs []work
 		d.Instructions = ins
 	}
 
-	// 6. Feed the predictors (observations become history).
-	c.renewable.Observe(obsRenewableW)
-	c.demand.Observe(obsDemandW)
+	// 6. Feed the predictors (observations become history). Stale
+	// observations are excluded: they are replays, not measurements.
+	if !obs.Stale {
+		c.renewable.Observe(obsRenewableW)
+		c.demand.Observe(obsDemandW)
+	}
 	return d, nil
 }
 

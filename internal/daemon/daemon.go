@@ -11,6 +11,7 @@
 package daemon
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,7 +20,14 @@ import (
 	"time"
 
 	"greenhetero/internal/sim"
+	"greenhetero/internal/telemetry"
 )
+
+// HealthSource exposes per-agent Monitor health for /status — typically
+// a *telemetry.Collector.
+type HealthSource interface {
+	Health() []telemetry.AgentHealth
+}
 
 // Config assembles a daemon.
 type Config struct {
@@ -31,6 +39,9 @@ type Config struct {
 	Tick time.Duration
 	// HistoryLimit bounds the retained epoch ring (default 1024).
 	HistoryLimit int
+	// Health optionally surfaces the Monitor's per-agent health (breaker
+	// state, stale flags) in /status.
+	Health HealthSource
 }
 
 // ErrBadConfig is returned by New for invalid configurations.
@@ -42,15 +53,17 @@ type Daemon struct {
 	session *sim.Session
 	tick    time.Duration
 	limit   int
+	health  HealthSource
 
-	mu      sync.RWMutex
-	history []sim.EpochResult
-	lastErr error
-	started bool
-	// soc and cycles snapshot the battery under the mutex: the bank
-	// itself is not safe to read while the loop steps it.
-	soc    float64
-	cycles int
+	// mu guards the session as well as the daemon's own fields: the
+	// session's internals (battery bank, predictors, epoch counter) have
+	// no locking of their own, so the loop steps it under the write lock
+	// and handlers read live session state under the read lock.
+	mu       sync.RWMutex
+	history  []sim.EpochResult
+	lastErr  error
+	started  bool
+	stopping bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -74,15 +87,20 @@ func New(cfg Config) (*Daemon, error) {
 		session: cfg.Session,
 		tick:    cfg.Tick,
 		limit:   cfg.HistoryLimit,
+		health:  cfg.Health,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}, nil
 }
 
-// Start launches the scheduler loop. It may be called once.
+// Start launches the scheduler loop. It may be called once; a stopped
+// daemon cannot be restarted.
 func (d *Daemon) Start() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.stopping {
+		return errors.New("daemon: already stopped")
+	}
 	if d.started {
 		return errors.New("daemon: already started")
 	}
@@ -91,11 +109,21 @@ func (d *Daemon) Start() error {
 	return nil
 }
 
-// Stop signals the loop and waits for it to exit. Safe to call once
-// after Start.
+// Stop signals the loop and waits for it to exit. Safe to call in any
+// state: before Start it simply marks the daemon stopped, and repeated
+// calls are no-ops, so `defer d.Stop()` composes with error paths that
+// never reach Start.
 func (d *Daemon) Stop() {
-	close(d.stop)
-	<-d.done
+	d.mu.Lock()
+	wasStarted := d.started
+	if !d.stopping {
+		d.stopping = true
+		close(d.stop)
+	}
+	d.mu.Unlock()
+	if wasStarted {
+		<-d.done
+	}
 }
 
 func (d *Daemon) loop() {
@@ -105,8 +133,11 @@ func (d *Daemon) loop() {
 	for {
 		select {
 		case <-ticker.C:
-			er, err := d.session.Step()
+			// Step mutates the session in place, so it runs under the
+			// write lock; every handler read of session state holds the
+			// read lock and therefore observes a quiesced session.
 			d.mu.Lock()
+			er, err := d.session.Step()
 			if err != nil {
 				// Record and keep ticking: a transient failure (e.g. a
 				// dead sensor during training) must not kill the rack
@@ -119,8 +150,6 @@ func (d *Daemon) loop() {
 					d.history = append(d.history[:0:0], d.history[over:]...)
 				}
 			}
-			d.soc = d.session.Bank().SoC()
-			d.cycles = d.session.Bank().Cycles()
 			d.mu.Unlock()
 		case <-d.stop:
 			return
@@ -130,14 +159,18 @@ func (d *Daemon) loop() {
 
 // status is the /status document.
 type status struct {
-	Policy     string           `json:"policy"`
-	Workload   string           `json:"workload"`
-	Epochs     int              `json:"epochs"`
-	BatterySoC float64          `json:"batterySoC"`
-	Cycles     int              `json:"batteryCycles"`
-	DBEntries  int              `json:"dbEntries"`
-	LastError  string           `json:"lastError,omitempty"`
-	Last       *sim.EpochResult `json:"last,omitempty"`
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"`
+	// Epochs counts retained history entries; SessionEpoch is the
+	// session's own live epoch counter.
+	Epochs       int                     `json:"epochs"`
+	SessionEpoch int                     `json:"sessionEpoch"`
+	BatterySoC   float64                 `json:"batterySoC"`
+	Cycles       int                     `json:"batteryCycles"`
+	DBEntries    int                     `json:"dbEntries"`
+	Agents       []telemetry.AgentHealth `json:"agents,omitempty"`
+	LastError    string                  `json:"lastError,omitempty"`
+	Last         *sim.EpochResult        `json:"last,omitempty"`
 }
 
 // Handler returns the HTTP API.
@@ -152,12 +185,13 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		d.mu.RLock()
 		st := status{
-			Policy:     d.session.Policy(),
-			Workload:   d.session.WorkloadLabel(),
-			Epochs:     len(d.history),
-			BatterySoC: d.soc,
-			Cycles:     d.cycles,
-			DBEntries:  d.session.DB().Len(),
+			Policy:       d.session.Policy(),
+			Workload:     d.session.WorkloadLabel(),
+			Epochs:       len(d.history),
+			SessionEpoch: d.session.Epoch(),
+			BatterySoC:   d.session.Bank().SoC(),
+			Cycles:       d.session.Bank().Cycles(),
+			DBEntries:    d.session.DB().Len(),
 		}
 		if d.lastErr != nil {
 			st.LastError = d.lastErr.Error()
@@ -167,6 +201,10 @@ func (d *Daemon) Handler() http.Handler {
 			st.Last = &last
 		}
 		d.mu.RUnlock()
+		// The health source carries its own locking.
+		if d.health != nil {
+			st.Agents = d.health.Health()
+		}
 		writeJSON(w, st)
 	})
 	mux.HandleFunc("GET /history", func(w http.ResponseWriter, r *http.Request) {
@@ -176,10 +214,18 @@ func (d *Daemon) Handler() http.Handler {
 		writeJSON(w, out)
 	})
 	mux.HandleFunc("GET /db", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := d.session.DB().Save(w); err != nil {
+		// Snapshot under the read lock (so the dump is epoch-consistent),
+		// then write outside it: a slow client must not stall the loop.
+		var buf bytes.Buffer
+		d.mu.RLock()
+		err := d.session.DB().Save(&buf)
+		d.mu.RUnlock()
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(buf.Bytes())
 	})
 	return mux
 }

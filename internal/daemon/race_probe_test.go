@@ -1,0 +1,26 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSessionReadRace pins the daemon's session locking discipline: a
+// handler-style read of live session state under RLock must never race
+// with the ticking scheduler loop. The session's battery bank and epoch
+// counter are plain fields with no internal locking, so this holds only
+// while the loop steps the session under d.mu — the daemon this test
+// was written against called d.session.Step() outside the lock, and the
+// race detector flagged Step's battery writes against exactly this
+// read. Run with -race.
+func TestSessionReadRace(t *testing.T) {
+	d := startDaemon(t, time.Millisecond)
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		d.mu.RLock()
+		_ = d.session.Bank().SoC()
+		_ = d.session.Epoch()
+		d.mu.RUnlock()
+		time.Sleep(100 * time.Microsecond)
+	}
+}

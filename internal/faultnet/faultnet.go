@@ -1,0 +1,321 @@
+// Package faultnet is a deterministic fault-injection TCP proxy for the
+// telemetry wire protocol's failure paths. It sits between a collector
+// and an agent, forwarding newline-delimited exchanges while injecting
+// faults — dropped responses, delays, partial writes, connection
+// resets, garbage lines — drawn from a seeded schedule, so every test
+// run observes the identical fault sequence.
+//
+// Determinism holds when exchanges through one proxy are serialized,
+// which is how the tests use it: one proxy per agent, and the collector
+// serializes exchanges per agent over its persistent connection.
+package faultnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one injected behaviour for a single request/response
+// exchange.
+type Fault int
+
+const (
+	// Pass forwards the exchange untouched.
+	Pass Fault = iota
+	// Drop swallows the backend's response; the client times out.
+	Drop
+	// Delay holds the response for the proxy's delay before forwarding.
+	Delay
+	// Partial forwards a truncated, unterminated prefix of the
+	// response, then closes the connection.
+	Partial
+	// Reset closes the client connection without responding.
+	Reset
+	// Garbage replaces the response with a line of non-protocol bytes.
+	Garbage
+
+	numFaults = int(Garbage) + 1
+)
+
+// String names the fault for counters and logs.
+func (f Fault) String() string {
+	switch f {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Partial:
+		return "partial"
+	case Reset:
+		return "reset"
+	case Garbage:
+		return "garbage"
+	default:
+		return "pass"
+	}
+}
+
+// Rates sets per-exchange fault probabilities; the remainder passes.
+type Rates struct {
+	Drop, Delay, Partial, Reset, Garbage float64
+}
+
+// sum returns the total fault probability.
+func (r Rates) sum() float64 { return r.Drop + r.Delay + r.Partial + r.Reset + r.Garbage }
+
+// Schedule is a concurrency-safe fault sequence consumed in exchange
+// order: either a fixed list (then Pass forever) or draws from a seeded
+// RNG against the configured rates. The same seed and rates always
+// yield the same sequence.
+type Schedule struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rates Rates
+	fixed []Fault
+	next  int
+}
+
+// NewSchedule builds a seeded random schedule.
+func NewSchedule(seed int64, r Rates) (*Schedule, error) {
+	for _, p := range []float64{r.Drop, r.Delay, r.Partial, r.Reset, r.Garbage} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("faultnet: rate %v out of [0,1]", p)
+		}
+	}
+	if s := r.sum(); s > 1 {
+		return nil, fmt.Errorf("faultnet: rates sum to %v > 1", s)
+	}
+	return &Schedule{rng: rand.New(rand.NewSource(seed)), rates: r}, nil
+}
+
+// NewFixedSchedule replays exactly the given faults, then passes
+// everything.
+func NewFixedSchedule(faults ...Fault) *Schedule {
+	return &Schedule{fixed: append([]Fault(nil), faults...)}
+}
+
+// Next draws the fault for the next exchange.
+func (s *Schedule) Next() Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rng == nil { // fixed mode
+		if s.next < len(s.fixed) {
+			f := s.fixed[s.next]
+			s.next++
+			return f
+		}
+		return Pass
+	}
+	x := s.rng.Float64()
+	for _, c := range []struct {
+		p float64
+		f Fault
+	}{
+		{s.rates.Drop, Drop},
+		{s.rates.Delay, Delay},
+		{s.rates.Partial, Partial},
+		{s.rates.Reset, Reset},
+		{s.rates.Garbage, Garbage},
+	} {
+		if x < c.p {
+			return c.f
+		}
+		x -= c.p
+	}
+	return Pass
+}
+
+// Proxy is one agent's fault-injecting front. Create with New, point
+// the collector at Addr, and Close when done.
+type Proxy struct {
+	backend string
+	ln      net.Listener
+	sched   *Schedule
+	delay   time.Duration
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg        sync.WaitGroup
+	exchanges atomic.Int64
+	counts    [numFaults]atomic.Int64
+}
+
+// Option configures a Proxy.
+type Option func(*Proxy)
+
+// WithDelay sets the Delay fault's hold time (default 50 ms).
+func WithDelay(d time.Duration) Option {
+	return func(p *Proxy) {
+		if d > 0 {
+			p.delay = d
+		}
+	}
+}
+
+// New starts a proxy on an ephemeral local port in front of backend.
+func New(backend string, sched *Schedule, opts ...Option) (*Proxy, error) {
+	if sched == nil {
+		return nil, errors.New("faultnet: nil schedule")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	p := &Proxy{
+		backend: backend,
+		ln:      ln,
+		sched:   sched,
+		delay:   50 * time.Millisecond,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (dial this instead of the
+// backend).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Exchanges reports how many request/response exchanges the proxy has
+// intercepted.
+func (p *Proxy) Exchanges() int64 { return p.exchanges.Load() }
+
+// Count reports how many times the given fault was injected.
+func (p *Proxy) Count(f Fault) int64 {
+	if int(f) < 0 || int(f) >= numFaults {
+		return 0
+	}
+	return p.counts[f].Load()
+}
+
+// Close stops the proxy and waits for its goroutines.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+// track registers an auxiliary connection (the backend side) so Close
+// can tear it down.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	_ = c.Close()
+}
+
+// serve proxies one client connection: each client line is forwarded to
+// a dedicated backend connection, and the backend's response line comes
+// back through the fault schedule.
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+
+	backend, err := net.DialTimeout("tcp", p.backend, 5*time.Second)
+	if err != nil {
+		return // client sees a closed connection
+	}
+	defer backend.Close()
+	if !p.track(backend) {
+		return
+	}
+	defer p.untrack(backend)
+
+	cr := bufio.NewReader(client)
+	br := bufio.NewReader(backend)
+	for {
+		line, err := cr.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		if _, err := backend.Write(line); err != nil {
+			return
+		}
+		resp, err := br.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		p.exchanges.Add(1)
+		fault := p.sched.Next()
+		p.counts[fault].Add(1)
+		switch fault {
+		case Drop:
+			// Swallow the response. The client's read times out and it
+			// tears the connection down itself; wait for that here so
+			// the next request cannot pair with a ghost response.
+			_, _ = cr.ReadBytes('\n')
+			return
+		case Delay:
+			time.Sleep(p.delay)
+			if _, err := client.Write(resp); err != nil {
+				return
+			}
+		case Partial:
+			_, _ = client.Write(resp[:len(resp)/2])
+			return
+		case Reset:
+			return
+		case Garbage:
+			if _, err := client.Write([]byte("\x00\x7f{{{ NOT JSON ]]\n")); err != nil {
+				return
+			}
+		default:
+			if _, err := client.Write(resp); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package faultnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer is a minimal line server: for each received line it
+// replies "ack <n>\n" with a running counter.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				n := 0
+				for sc.Scan() {
+					n++
+					if _, err := fmt.Fprintf(c, "ack %d\n", n); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// exchange sends one line and reads one response with a deadline.
+func exchange(t *testing.T, conn net.Conn, timeout time.Duration) (string, error) {
+	t.Helper()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("hello\n")); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(line, "\n"), nil
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	rates := Rates{Drop: 0.2, Delay: 0.1, Partial: 0.1, Reset: 0.1, Garbage: 0.1}
+	a, err := NewSchedule(42, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchedule(42, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Fault]int)
+	for i := 0; i < 500; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa != fb {
+			t.Fatalf("draw %d: %v != %v with equal seeds", i, fa, fb)
+		}
+		seen[fa]++
+	}
+	// Every configured fault shows up at roughly its rate.
+	if seen[Drop] < 50 || seen[Drop] > 150 {
+		t.Errorf("drop count %d far from 20%% of 500", seen[Drop])
+	}
+	if seen[Pass] == 0 {
+		t.Error("no passes drawn")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(1, Rates{Drop: -0.1}); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := NewSchedule(1, Rates{Drop: 0.6, Reset: 0.6}); err == nil {
+		t.Error("rates summing past 1 should error")
+	}
+}
+
+func TestFixedScheduleReplaysThenPasses(t *testing.T) {
+	s := NewFixedSchedule(Reset, Garbage)
+	want := []Fault{Reset, Garbage, Pass, Pass}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("draw %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	p, err := New(echoServer(t), NewFixedSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 1; i <= 3; i++ {
+		got, err := exchange(t, conn, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("ack %d", i); got != want {
+			t.Errorf("exchange %d = %q, want %q", i, got, want)
+		}
+	}
+	if p.Exchanges() != 3 {
+		t.Errorf("exchanges = %d, want 3", p.Exchanges())
+	}
+	if p.Count(Pass) != 3 {
+		t.Errorf("pass count = %d, want 3", p.Count(Pass))
+	}
+}
+
+func TestProxyFaults(t *testing.T) {
+	backend := echoServer(t)
+	cases := []struct {
+		fault Fault
+		check func(t *testing.T, got string, err error)
+	}{
+		{Drop, func(t *testing.T, got string, err error) {
+			if err == nil {
+				t.Errorf("drop delivered %q", got)
+			}
+		}},
+		{Reset, func(t *testing.T, got string, err error) {
+			if err == nil {
+				t.Errorf("reset delivered %q", got)
+			}
+		}},
+		{Partial, func(t *testing.T, got string, err error) {
+			if err == nil {
+				t.Errorf("partial delivered full line %q", got)
+			}
+		}},
+		{Garbage, func(t *testing.T, got string, err error) {
+			if err != nil {
+				t.Errorf("garbage read failed: %v", err)
+			} else if strings.HasPrefix(got, "ack") {
+				t.Errorf("garbage fault passed the real response %q", got)
+			}
+		}},
+		{Delay, func(t *testing.T, got string, err error) {
+			if err != nil || !strings.HasPrefix(got, "ack") {
+				t.Errorf("delayed exchange = %q, %v", got, err)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.fault.String(), func(t *testing.T) {
+			p, err := New(backend, NewFixedSchedule(c.fault), WithDelay(20*time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = p.Close() })
+			conn, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			got, xerr := exchange(t, conn, 400*time.Millisecond)
+			c.check(t, got, xerr)
+			if p.Count(c.fault) != 1 {
+				t.Errorf("fault count = %d, want 1", p.Count(c.fault))
+			}
+			// The backend stays reachable through a fresh connection.
+			conn2, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn2.Close()
+			if got, err := exchange(t, conn2, time.Second); err != nil || !strings.HasPrefix(got, "ack") {
+				t.Errorf("post-fault exchange = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestProxyCloseUnblocksClients(t *testing.T) {
+	p, err := New(echoServer(t), NewFixedSchedule(Drop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hi\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the proxy a moment to swallow the response, then close it
+	// while the client would still be waiting.
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- p.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("proxy close blocked on a dropped exchange")
+	}
+}

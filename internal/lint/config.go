@@ -40,14 +40,17 @@ var deterministicCore = map[string]bool{
 // wallClockAllowed lists the packages that legitimately face the wall
 // clock, the environment, or live hardware, and are therefore exempt
 // from the determinism and seedflow analyzers: the telemetry transport,
-// the live-node agent, the daemon, operational metrics, and the trace
-// loader (which stamps ingestion timestamps).
+// the live-node agent, the daemon, operational metrics, the trace
+// loader (which stamps ingestion timestamps), and the fault-injection
+// proxy (its schedules are seeded, but its transport faces real
+// sockets and timeouts).
 var wallClockAllowed = map[string]bool{
 	"telemetry": true,
 	"livenode":  true,
 	"daemon":    true,
 	"metrics":   true,
 	"trace":     true,
+	"faultnet":  true,
 }
 
 // pkgKey reduces an import path to the name it is classified under:

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -66,6 +67,11 @@ var (
 
 // SetTarget implements telemetry.Setter: the SPC's power budget.
 func (n *Node) SetTarget(powerW float64) error {
+	// NaN slips through a plain `< 0` check (every comparison with NaN
+	// is false) and would poison the node's operating point.
+	if math.IsNaN(powerW) || math.IsInf(powerW, 0) {
+		return fmt.Errorf("livenode %s: non-finite target %v", n.id, powerW)
+	}
 	if powerW < 0 {
 		return fmt.Errorf("livenode %s: negative target %v", n.id, powerW)
 	}
@@ -121,11 +127,16 @@ type Prober struct {
 	Samples int
 	// Timeout per wire operation. Zero means 2 s.
 	Timeout time.Duration
+	// Retry bounds per-operation retries during the run (zero fields
+	// take the telemetry defaults), so a transient wire fault does not
+	// abort a whole training sweep.
+	Retry telemetry.RetryPolicy
 }
 
 var _ core.Prober = (*Prober)(nil)
 
-// TrainingRun implements core.Prober.
+// TrainingRun implements core.Prober. The whole sweep rides one
+// persistent connection with the prober's retry policy.
 func (p *Prober) TrainingRun(spec server.Spec, w workload.Workload) (core.TrainingResult, error) {
 	addrs := p.GroupAddrs[spec.ID]
 	if len(addrs) == 0 {
@@ -141,15 +152,27 @@ func (p *Prober) TrainingRun(spec server.Spec, w workload.Workload) (core.Traini
 	}
 	addr := addrs[0]
 	ctx := context.Background()
+	c, err := telemetry.NewCollector([]string{addr},
+		telemetry.WithTimeout(timeout), telemetry.WithRetry(p.Retry))
+	if err != nil {
+		return core.TrainingResult{}, fmt.Errorf("livenode: training collector: %w", err)
+	}
+	defer c.Close()
 
+	// A single-sample sweep has one step, not zero: divide by
+	// max(samples-1, 1) so frac is 0, never the NaN of 0/0.
+	steps := samples - 1
+	if steps < 1 {
+		steps = 1
+	}
 	res := core.TrainingResult{Samples: make([]fit.Sample, 0, samples)}
 	for i := 0; i < samples; i++ {
-		frac := float64(i) / float64(samples-1)
+		frac := float64(i) / float64(steps)
 		target := spec.IdleW + 1 + frac*(spec.PeakW-spec.IdleW-1)
-		if err := telemetry.SetTarget(ctx, addr, target, timeout); err != nil {
+		if err := c.SetTarget(ctx, addr, target); err != nil {
 			return core.TrainingResult{}, fmt.Errorf("livenode: training set: %w", err)
 		}
-		reading, err := sampleOnce(ctx, addr, timeout)
+		reading, err := sampleFresh(ctx, c)
 		if err != nil {
 			return core.TrainingResult{}, fmt.Errorf("livenode: training sample: %w", err)
 		}
@@ -159,26 +182,28 @@ func (p *Prober) TrainingRun(spec server.Spec, w workload.Workload) (core.Traini
 		}
 	}
 	// Restore the node to uncapped operation after profiling.
-	if err := telemetry.SetTarget(ctx, addr, spec.PeakW, timeout); err != nil {
+	if err := c.SetTarget(ctx, addr, spec.PeakW); err != nil {
 		return core.TrainingResult{}, fmt.Errorf("livenode: training restore: %w", err)
 	}
 	return res, nil
 }
 
-// sampleOnce reads one agent through a throwaway single-agent collector.
-func sampleOnce(ctx context.Context, addr string, timeout time.Duration) (telemetry.Reading, error) {
-	c, err := telemetry.NewCollector([]string{addr}, telemetry.WithTimeout(timeout))
-	if err != nil {
-		return telemetry.Reading{}, err
-	}
+// sampleFresh reads one fresh reading through the prober's collector. A
+// stale (last-known-good) reading is useless for profiling: the sample
+// must reflect the target just set.
+func sampleFresh(ctx context.Context, c *telemetry.Collector) (telemetry.Reading, error) {
 	results, err := c.Collect(ctx)
 	if err != nil {
 		return telemetry.Reading{}, err
 	}
-	if results[0].Err != nil {
-		return telemetry.Reading{}, results[0].Err
+	r := results[0]
+	if r.Err != nil {
+		return telemetry.Reading{}, r.Err
 	}
-	return results[0].Reading, nil
+	if r.Stale {
+		return telemetry.Reading{}, errors.New("stale reading during training run")
+	}
+	return r.Reading, nil
 }
 
 // Enforce pushes SPC instructions to every node of each group: the

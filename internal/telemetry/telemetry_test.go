@@ -122,12 +122,14 @@ func TestCollectDeadAgent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A single dead agent with no last-known-good reading is a majority
+	// failure: the rack is unobservable.
 	results, err := c.Collect(context.Background())
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrMajorityFailed) {
+		t.Errorf("err = %v, want ErrMajorityFailed", err)
 	}
-	if results[0].Err == nil {
-		t.Error("dead agent should produce an error result")
+	if len(results) != 1 || results[0].Err == nil {
+		t.Errorf("dead agent should still report its error result, got %+v", results)
 	}
 }
 
