@@ -1,16 +1,26 @@
 // Command ghlint runs the repository's domain-aware static-analysis
-// suite (internal/lint): determinism, seedflow, unitsafety, and floateq.
-// It is the mechanical guardian of the invariants the simulator's
-// bit-identical serial-vs-parallel proof depends on.
+// suite (internal/lint): the statement-local analyzers (determinism,
+// seedflow, unitsafety, floateq) and the flow-sensitive concurrency
+// analyzers (guardedby, goleak, deferclose). It is the mechanical
+// guardian of the invariants the simulator's bit-identical
+// serial-vs-parallel proof — and the daemon's lock discipline — depend
+// on.
 //
 // Usage:
 //
 //	go run ./cmd/ghlint ./...             # whole repo, all analyzers
 //	go run ./cmd/ghlint ./internal/sim    # one package
 //	go run ./cmd/ghlint -analyzers floateq,unitsafety ./...
+//	go run ./cmd/ghlint -json ./...       # machine-readable findings
 //	go run ./cmd/ghlint -list             # describe the analyzers
 //
 // Exit status: 0 clean, 1 findings reported, 2 usage or load error.
+//
+// -json emits a sorted JSON array of every finding *including
+// suppressed ones* (marked with "suppressed": true), so a CI artifact
+// can expose suppression churn per PR; the exit status still counts
+// only unsuppressed findings. The output is byte-stable for a given
+// tree: same source in, same bytes out.
 //
 // Findings are suppressed line-by-line with a reasoned directive the
 // driver verifies:
@@ -19,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		analyzerCSV = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		list        = fs.Bool("list", false, "list the analyzers and exit")
+		jsonOut     = fs.Bool("json", false, "emit findings as a sorted JSON array (suppressed findings included and marked)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ghlint [flags] [packages]\n\n"+
@@ -71,16 +83,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	findings := 0
+	jdiags := []jsonDiagnostic{}
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			// Partial type information can hide findings; surface it
 			// loudly but keep analyzing what did check.
 			fmt.Fprintf(stderr, "ghlint: %s: type error: %v\n", pkg.Path, terr)
 		}
+		if *jsonOut {
+			for _, d := range lint.RunPackageAll(pkg, analyzers) {
+				pos := pkg.Fset.Position(d.Pos)
+				jdiags = append(jdiags, jsonDiagnostic{
+					File:       relPos(pos.Filename),
+					Line:       pos.Line,
+					Col:        pos.Column,
+					Analyzer:   d.Analyzer,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				})
+				if !d.Suppressed {
+					findings++
+				}
+			}
+			continue
+		}
 		for _, d := range lint.RunPackage(pkg, analyzers) {
 			pos := pkg.Fset.Position(d.Pos)
 			fmt.Fprintf(stdout, "%s: [%s] %s\n", relPos(pos.String()), d.Analyzer, d.Message)
 			findings++
+		}
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, jdiags); err != nil {
+			fmt.Fprintf(stderr, "ghlint: encoding findings: %v\n", err)
+			return 2
 		}
 	}
 	if findings > 0 {
@@ -89,6 +125,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiagnostic is one finding in -json output. The field set is the
+// review contract: file/line/col locate it, analyzer and message name
+// it, suppressed distinguishes "silenced with a reason" from "live".
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// writeJSON emits the findings as one stably-sorted, indented JSON
+// array. Sorting here (not per package) makes the bytes a pure function
+// of the analyzed source, independent of package enumeration order.
+func writeJSON(w io.Writer, diags []jsonDiagnostic) error {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", out)
+	return err
 }
 
 // selectAnalyzers resolves the -analyzers flag against the suite.

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -58,10 +60,71 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, stderr.String())
 	}
-	for _, name := range []string{"determinism", "seedflow", "unitsafety", "floateq"} {
+	for _, name := range []string{"determinism", "seedflow", "unitsafety", "floateq", "guardedby", "goleak", "deferclose"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestRunJSONStableAndSuppressed pins the -json contract on the one
+// package with a live suppression (internal/runner's GOMAXPROCS read):
+// the suppressed finding appears with "suppressed": true, the exit code
+// stays 0, and two runs produce byte-identical output.
+func TestRunJSONStableAndSuppressed(t *testing.T) {
+	chdirRepoRoot(t)
+	var out1, out2, stderr bytes.Buffer
+	if code := run([]string{"-json", "./internal/runner"}, &out1, &stderr); code != 0 {
+		t.Fatalf("run(-json ./internal/runner) = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-json", "./internal/runner"}, &out2, &stderr); code != 0 {
+		t.Fatalf("second run(-json ./internal/runner) = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Errorf("-json output is not byte-stable across runs:\n--- first\n%s\n--- second\n%s", out1.String(), out2.String())
+	}
+
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(out1.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out1.String())
+	}
+	foundSuppressed := false
+	for _, d := range diags {
+		if d.Suppressed && d.Analyzer == "determinism" && strings.HasPrefix(d.File, "internal/runner") {
+			foundSuppressed = true
+		}
+		if !d.Suppressed {
+			t.Errorf("unexpected live finding in -json output: %+v", d)
+		}
+	}
+	if !foundSuppressed {
+		t.Errorf("-json output missing the suppressed runner finding:\n%s", out1.String())
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	}) {
+		t.Errorf("-json output is not sorted by file/line/col:\n%s", out1.String())
+	}
+}
+
+// TestRunJSONEmptyIsArray pins that a clean package yields a valid,
+// empty JSON array — not "null" — so downstream tooling can always
+// iterate the result.
+func TestRunJSONEmptyIsArray(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./internal/fit"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-json ./internal/fit) = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean package -json output = %q, want \"[]\"", got)
 	}
 }
 

@@ -50,19 +50,27 @@ var ErrBadConfig = errors.New("daemon: bad config")
 // Daemon is the running service. Create with New, then Start; Stop
 // shuts the scheduler loop down and waits for it.
 type Daemon struct {
-	session *sim.Session
-	tick    time.Duration
-	limit   int
-	health  HealthSource
+	tick   time.Duration
+	limit  int
+	health HealthSource
 
 	// mu guards the session as well as the daemon's own fields: the
 	// session's internals (battery bank, predictors, epoch counter) have
 	// no locking of their own, so the loop steps it under the write lock
-	// and handlers read live session state under the read lock.
-	mu       sync.RWMutex
-	history  []sim.EpochResult
-	lastErr  error
-	started  bool
+	// and handlers read live session state under the read lock. The
+	// guardedby annotations make ghlint re-prove that discipline on every
+	// build — the PR 3 race (session stepped between Unlock and re-Lock)
+	// is exactly what they reject.
+	mu sync.RWMutex
+	// ghlint:guardedby mu
+	session *sim.Session
+	// ghlint:guardedby mu
+	history []sim.EpochResult
+	// ghlint:guardedby mu
+	lastErr error
+	// ghlint:guardedby mu
+	started bool
+	// ghlint:guardedby mu
 	stopping bool
 
 	stop chan struct{}

@@ -74,11 +74,15 @@ func (r Rates) sum() float64 { return r.Drop + r.Delay + r.Partial + r.Reset + r
 // RNG against the configured rates. The same seed and rates always
 // yield the same sequence.
 type Schedule struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
+	mu sync.Mutex
+	// ghlint:guardedby mu
+	rng *rand.Rand
+	// ghlint:guardedby mu
 	rates Rates
+	// ghlint:guardedby mu
 	fixed []Fault
-	next  int
+	// ghlint:guardedby mu
+	next int
 }
 
 // NewSchedule builds a seeded random schedule.
@@ -139,8 +143,10 @@ type Proxy struct {
 	sched   *Schedule
 	delay   time.Duration
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	mu sync.Mutex
+	// ghlint:guardedby mu
+	conns map[net.Conn]struct{}
+	// ghlint:guardedby mu
 	closed bool
 
 	wg        sync.WaitGroup

@@ -28,6 +28,32 @@ func TestFloateqAnalyzer(t *testing.T) {
 	linttest.Run(t, lint.FloateqAnalyzer, corePath, "floateq/floateq.go")
 }
 
+func TestGuardedbyAnalyzer(t *testing.T) {
+	linttest.Run(t, lint.GuardedbyAnalyzer, corePath, "guardedby/guardedby.go")
+}
+
+// TestGuardedbyDaemonRaceRegression replays the PR 3 daemon race shape
+// (session stepped between Unlock and re-Lock) and proves guardedby
+// reports it while the shipped fix stays clean.
+func TestGuardedbyDaemonRaceRegression(t *testing.T) {
+	linttest.Run(t, lint.GuardedbyAnalyzer, "greenhetero/internal/daemon", "guardedby/daemonrace.go")
+}
+
+func TestGoleakAnalyzer(t *testing.T) {
+	linttest.Run(t, lint.GoleakAnalyzer, corePath, "goleak/goleak.go")
+}
+
+func TestDefercloseAnalyzer(t *testing.T) {
+	linttest.Run(t, lint.DefercloseAnalyzer, "greenhetero/internal/telemetry", "deferclose/deferclose.go")
+}
+
+// TestFlowAnalyzersRunEverywhere pins that the flow-sensitive analyzers
+// are not package-gated: the same racy fixture fires even under a
+// wall-clock-allowed import path.
+func TestFlowAnalyzersRunEverywhere(t *testing.T) {
+	linttest.Run(t, lint.GuardedbyAnalyzer, "greenhetero/internal/faultnet", "guardedby/daemonrace.go")
+}
+
 // TestSuppression pins the directive contract end to end: exact-line,
 // exact-analyzer silencing, and malformed directives reported.
 func TestSuppression(t *testing.T) {

@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFunc typechecks src (a full file) and returns the named
+// function's body CFG inputs.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return fn, info
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// stateAt runs the lock-set dataflow over fn and returns the held-set
+// description in force just before each assignment to a variable,
+// keyed by the variable's name.
+func stateAt(t *testing.T, fn *ast.FuncDecl, info *types.Info, entry lockSet) map[string]string {
+	t.Helper()
+	g := buildCFG(fn.Body)
+	if g.unsupported {
+		t.Fatalf("CFG unexpectedly unsupported")
+	}
+	lf := solveLockFlow(g, info, entry)
+	out := make(map[string]string)
+	lf.walk(func(n ast.Node, held lockSet) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			out[id.Name] = held.describe()
+		}
+	})
+	return out
+}
+
+const lockFlowSrc = `package p
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type E struct {
+	sync.Mutex
+	n int
+}
+
+func straight(s *S) {
+	inside := 0
+	s.mu.Lock()
+	held := 0
+	s.mu.Unlock()
+	after := 0
+	_, _, _ = inside, held, after
+}
+
+func deferred(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	held := 0
+	_ = held
+}
+
+func branchy(s *S, c bool) {
+	if c {
+		s.mu.Lock()
+		inThen := 0
+		_ = inThen
+		s.mu.Unlock()
+	}
+	joined := 0
+	_ = joined
+}
+
+func modes(s *S, c bool) {
+	if c {
+		s.mu.Lock()
+	} else {
+		s.mu.RLock()
+	}
+	merged := 0
+	_ = merged
+}
+
+func embedded(e *E) {
+	e.Lock()
+	held := 0
+	_ = held
+	e.Unlock()
+}
+
+func loops(s *S) {
+	s.mu.Lock()
+	for i := 0; i < 3; i++ {
+		inLoop := 0
+		_ = inLoop
+	}
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		reacquired := 0
+		_ = reacquired
+		s.mu.Unlock()
+	}
+}
+
+func dropInLoop(s *S, xs []int) {
+	s.mu.Lock()
+	for range xs {
+		s.mu.Unlock()
+		s.mu.Lock()
+	}
+	// The zero-iteration path keeps the lock; the looped path re-locks;
+	// but the *backedge into the header* carries an unlocked interval, so
+	// nothing between Unlock and Lock may claim the lock. After the loop
+	// both paths hold it again.
+	after := 0
+	_ = after
+	s.mu.Unlock()
+}
+`
+
+func TestLockFlowStraightLine(t *testing.T) {
+	fn, info := parseFunc(t, lockFlowSrc, "straight")
+	got := stateAt(t, fn, info, lockSet{})
+	want := map[string]string{
+		"inside": "no locks held",
+		"held":   "holding s.mu(write)",
+		"after":  "no locks held",
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("at %s = ...: got %q, want %q", k, got[k], w)
+		}
+	}
+}
+
+func TestLockFlowDeferUnlock(t *testing.T) {
+	fn, info := parseFunc(t, lockFlowSrc, "deferred")
+	got := stateAt(t, fn, info, lockSet{})
+	if got["held"] != "holding s.mu(write)" {
+		t.Errorf("defer unlock must keep the lock held to exit; got %q", got["held"])
+	}
+}
+
+func TestLockFlowBranchJoin(t *testing.T) {
+	fn, info := parseFunc(t, lockFlowSrc, "branchy")
+	got := stateAt(t, fn, info, lockSet{})
+	if got["inThen"] != "holding s.mu(write)" {
+		t.Errorf("then-branch: got %q", got["inThen"])
+	}
+	if got["joined"] != "no locks held" {
+		t.Errorf("join of locked/unlocked paths must drop the lock; got %q", got["joined"])
+	}
+}
+
+func TestLockFlowModeMeet(t *testing.T) {
+	fn, info := parseFunc(t, lockFlowSrc, "modes")
+	got := stateAt(t, fn, info, lockSet{})
+	if got["merged"] != "holding s.mu(read)" {
+		t.Errorf("write ∧ read must meet to read; got %q", got["merged"])
+	}
+}
+
+func TestLockFlowEmbeddedMutex(t *testing.T) {
+	fn, info := parseFunc(t, lockFlowSrc, "embedded")
+	got := stateAt(t, fn, info, lockSet{})
+	if got["held"] != "holding e.Mutex(write)" {
+		t.Errorf("embedded mutex must key as the promoted field; got %q", got["held"])
+	}
+}
+
+func TestLockFlowLoops(t *testing.T) {
+	fn, info := parseFunc(t, lockFlowSrc, "loops")
+	got := stateAt(t, fn, info, lockSet{})
+	if got["inLoop"] != "holding s.mu(write)" {
+		t.Errorf("lock held across loop body: got %q", got["inLoop"])
+	}
+	if got["reacquired"] != "holding s.mu(write)" {
+		t.Errorf("re-acquired inside infinite loop: got %q", got["reacquired"])
+	}
+}
+
+func TestLockFlowUnlockRelockLoop(t *testing.T) {
+	fn, info := parseFunc(t, lockFlowSrc, "dropInLoop")
+	got := stateAt(t, fn, info, lockSet{})
+	if got["after"] != "holding s.mu(write)" {
+		t.Errorf("after unlock/relock loop both paths hold the lock; got %q", got["after"])
+	}
+}
+
+func TestLockFlowEntrySeed(t *testing.T) {
+	// Seeding the entry state models a ghlint:holds contract: the body
+	// never locks, yet the lock reads as held throughout.
+	fn, info := parseFunc(t, `package p
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func helper(s *S) {
+	body := 0
+	_ = body
+}
+`, "helper")
+	var recv types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "s" {
+			if v, ok := obj.(*types.Var); ok && !v.IsField() {
+				recv = v
+			}
+		}
+	}
+	if recv == nil {
+		t.Fatal("param object not found")
+	}
+	entry := lockSet{held: map[lockKey]lockMode{{root: recv, path: ".mu"}: modeWrite}}
+	got := stateAt(t, fn, info, entry)
+	if got["body"] != "holding s.mu(write)" {
+		t.Errorf("entry seed must flow through; got %q", got["body"])
+	}
+}
+
+func TestCFGGotoUnsupported(t *testing.T) {
+	fn, _ := parseFunc(t, `package p
+
+func g() {
+top:
+	goto top
+}
+`, "g")
+	g := buildCFG(fn.Body)
+	if !g.unsupported {
+		t.Error("goto must mark the CFG unsupported")
+	}
+}
+
+func TestCFGInfiniteForHasNoFalseExit(t *testing.T) {
+	fn, _ := parseFunc(t, `package p
+
+func f() {
+	for {
+	}
+}
+`, "f")
+	g := buildCFG(fn.Body)
+	// The synthetic exit is reachable only via the implicit fallthrough
+	// edge from the (unreachable) block after the loop; the loop header
+	// itself must not edge to exit or to the after-block.
+	for _, bl := range g.blocks {
+		for _, n := range bl.nodes {
+			_ = n
+		}
+	}
+	// Walk from entry: exit must NOT be reachable.
+	seen := make(map[*cfgBlock]bool)
+	var dfs func(b *cfgBlock)
+	dfs = func(b *cfgBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.succs {
+			dfs(s)
+		}
+	}
+	dfs(g.entry)
+	if seen[g.exit] {
+		t.Error("for{} must make the function exit unreachable")
+	}
+}
+
+func TestCFGSelectNoDefaultBlocks(t *testing.T) {
+	fn, info := parseFunc(t, `package p
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func f(s *S, ch chan int) {
+	s.mu.Lock()
+	select {
+	case <-ch:
+		s.mu.Unlock()
+		got := 0
+		_ = got
+	}
+	// Only the case path reaches here, and it unlocked.
+	after := 0
+	_ = after
+}
+`, "f")
+	got := stateAt(t, fn, info, lockSet{})
+	if got["got"] != "no locks held" {
+		t.Errorf("case body state: got %q", got["got"])
+	}
+	if got["after"] != "no locks held" {
+		t.Errorf("post-select state: got %q", got["after"])
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	fn, info := parseFunc(t, `package p
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func f(s *S, v int) {
+	switch v {
+	case 1:
+		s.mu.Lock()
+		fallthrough
+	case 2:
+		// Reached with the lock held (via fallthrough) or not held
+		// (direct match) — the meet must drop it.
+		merged := 0
+		_ = merged
+	}
+}
+`, "f")
+	got := stateAt(t, fn, info, lockSet{})
+	if got["merged"] != "no locks held" {
+		t.Errorf("fallthrough/direct meet: got %q", got["merged"])
+	}
+}
+
+func TestLockSetDescribeStable(t *testing.T) {
+	if d := topLockSet().describe(); d != "⊤" {
+		t.Errorf("top: %q", d)
+	}
+	if d := (lockSet{}).describe(); d != "no locks held" {
+		t.Errorf("empty: %q", d)
+	}
+	if !strings.Contains((lockSet{}).meet(topLockSet()).describe(), "no locks") {
+		t.Error("meet with top must be identity")
+	}
+}

@@ -1,0 +1,292 @@
+package lint
+
+// deferclose verifies that OS-backed resources — sockets, listeners,
+// files — are closed (or deliberately handed off) on every control-flow
+// path from their acquisition to the function's exit. The acquisition
+// set is the repo's actual surface: net.Dial/DialTimeout/Listen* and
+// os.Open/Create/OpenFile, plus the (net.Dialer).Dial* methods the
+// telemetry transport uses.
+//
+// The check is a CFG reachability question, not a "is there a defer
+// Close" pattern match: starting just after the acquisition, every path
+// must hit a statement that *mentions* the resource variable before
+// reaching the exit. Mentioning is the deliberately coarse kill — a
+// defer conn.Close() is a mention, but so is returning the resource,
+// storing it in a struct, or passing it to another function, all of
+// which transfer ownership somewhere this analyzer cannot follow.
+// What survives that generosity is exactly the embarrassing bug: a
+// path that acquires a socket and then forgets it entirely. Two shapes
+// are excluded from "forgetting":
+//
+//   - nil-comparisons (`if conn != nil`) are not mentions — testing a
+//     handle is not disposing of it;
+//   - an early return lexically inside an `if` whose condition involves
+//     the acquisition's error variable is exempt: on the error path the
+//     resource is nil and there is nothing to close.
+//
+// Terminating calls (panic, os.Exit, log.Fatal*) end a path without
+// complaint — os.Exit skips deferred closes anyway, and the kernel
+// reaps the descriptors.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DefercloseAnalyzer is the resource-leak analyzer.
+var DefercloseAnalyzer = &Analyzer{
+	Name: "deferclose",
+	Doc: "resources acquired from net.Dial/Listen and os.Open must be " +
+		"closed, returned, or stored on every control-flow path; a path " +
+		"that forgets the handle leaks a descriptor",
+	Run: runDeferclose,
+}
+
+// acquirerFuncs are the package-level acquisition functions.
+var acquirerFuncs = map[string]map[string]bool{
+	"net": {
+		"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+		"Listen": true, "ListenTCP": true, "ListenUDP": true, "ListenPacket": true,
+	},
+	"os": {
+		"Open": true, "Create": true, "OpenFile": true,
+	},
+}
+
+// acquirerMethods are acquisition methods, keyed by receiver type.
+var acquirerMethods = map[string]map[string]bool{
+	"net.Dialer": {"Dial": true, "DialContext": true},
+}
+
+func runDeferclose(pass *Pass) {
+	for _, file := range pass.Files {
+		eachFuncBody(file, func(body *ast.BlockStmt) {
+			checkDefercloseBody(pass, body)
+		})
+	}
+}
+
+// acquisitionCall reports whether call acquires a closeable resource,
+// returning a short name for the diagnostic.
+func acquisitionCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if pkg, fn := pkgQualifiedCall(info, call); pkg != "" {
+		if fns, ok := acquirerFuncs[pkg]; ok && fns[fn] {
+			return pkg + "." + fn, true
+		}
+		return "", false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	named, ok := derefType(recv.Type()).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	key := fn.Pkg().Path() + "." + named.Obj().Name()
+	if ms, ok := acquirerMethods[key]; ok && ms[sel.Sel.Name] {
+		return "(" + key + ")." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// acquisition is one resource-producing assignment inside a CFG.
+type acquisition struct {
+	assign *ast.AssignStmt
+	what   string       // e.g. "net.Dial", for the diagnostic
+	res    types.Object // the resource variable
+	errObj types.Object // the paired error variable, nil if discarded
+	block  *cfgBlock    // block containing the assignment
+	idx    int          // index of the assignment within block.nodes
+}
+
+func checkDefercloseBody(pass *Pass, body *ast.BlockStmt) {
+	g := buildCFG(body)
+	if g.unsupported {
+		return
+	}
+	var acqs []acquisition
+	for _, bl := range g.blocks {
+		for i, n := range bl.nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			what, ok := acquisitionCall(pass.Info, call)
+			if !ok {
+				continue
+			}
+			res := assignedObj(pass.Info, as, 0)
+			if res == nil {
+				continue // blank or non-ident target: nothing to track
+			}
+			acqs = append(acqs, acquisition{
+				assign: as, what: what, res: res,
+				errObj: assignedObj(pass.Info, as, 1),
+				block:  bl, idx: i,
+			})
+		}
+	}
+	if len(acqs) == 0 {
+		return
+	}
+	exempt := exemptReturns(pass.Info, body, acqs)
+	for _, a := range acqs {
+		if leakPath(pass.Info, g, a, exempt[a.res]) {
+			pass.Reportf(a.assign.Pos(), "%s result %s is not closed on every path (missing `defer %s.Close()`?)",
+				a.what, a.res.Name(), a.res.Name())
+		}
+	}
+}
+
+// assignedObj resolves the i'th assignment target to its object.
+func assignedObj(info *types.Info, as *ast.AssignStmt, i int) types.Object {
+	if i >= len(as.Lhs) {
+		return nil
+	}
+	id, ok := unparen(as.Lhs[i]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// exemptReturns collects, per resource, the returns lexically inside an
+// if whose condition involves the paired error variable (or nil-tests
+// the resource): the error path holds no resource.
+func exemptReturns(info *types.Info, body *ast.BlockStmt, acqs []acquisition) map[types.Object]map[*ast.ReturnStmt]bool {
+	out := make(map[types.Object]map[*ast.ReturnStmt]bool)
+	for _, a := range acqs {
+		set := make(map[*ast.ReturnStmt]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			guardsErr := a.errObj != nil && mentionsAtAll(info, ifs.Cond, a.errObj)
+			nilTestsRes := usesOnlyInNilCompare(info, ifs.Cond, a.res)
+			if !guardsErr && !nilTestsRes {
+				return true
+			}
+			ast.Inspect(ifs.Body, func(m ast.Node) bool {
+				if r, ok := m.(*ast.ReturnStmt); ok {
+					set[r] = true
+				}
+				return true
+			})
+			return true
+		})
+		out[a.res] = set
+	}
+	return out
+}
+
+// usesOnlyInNilCompare reports whether cond mentions res and only via
+// nil-comparisons.
+func usesOnlyInNilCompare(info *types.Info, cond ast.Expr, res types.Object) bool {
+	return mentionsAtAll(info, cond, res) && !mentions(info, cond, res)
+}
+
+// mentionsAtAll reports any identifier use of obj under n.
+func mentionsAtAll(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentions reports whether n uses obj outside of nil-comparisons.
+func mentions(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if be, ok := x.(*ast.BinaryExpr); ok && isNilCompare(info, be, obj) {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isNilCompare reports whether be is `obj == nil` or `obj != nil` (in
+// either operand order).
+func isNilCompare(info *types.Info, be *ast.BinaryExpr, obj types.Object) bool {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return false
+	}
+	isObj := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && info.ObjectOf(id) == obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isObj(be.X) && isNil(be.Y)) || (isNil(be.X) && isObj(be.Y))
+}
+
+// leakPath reports whether some path from just after the acquisition
+// reaches the function exit without ever mentioning the resource.
+func leakPath(info *types.Info, g *funcCFG, a acquisition, exempt map[*ast.ReturnStmt]bool) bool {
+	visited := make(map[*cfgBlock]bool)
+	var fromBlock func(bl *cfgBlock, start int) bool
+	fromBlock = func(bl *cfgBlock, start int) bool {
+		for i := start; i < len(bl.nodes); i++ {
+			n := bl.nodes[i]
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				if exempt[r] || mentions(info, r, a.res) {
+					return false
+				}
+				return true // returning without disposing
+			}
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, isCall := es.X.(*ast.CallExpr); isCall && isTerminatingCall(call) {
+					return false // crash path; descriptors die with us
+				}
+			}
+			if mentions(info, n, a.res) {
+				return false // closed, stored, passed on — disposed
+			}
+		}
+		for _, succ := range bl.succs {
+			if succ == g.exit {
+				return true // fell off the end of the function
+			}
+			if visited[succ] {
+				continue
+			}
+			visited[succ] = true
+			if fromBlock(succ, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return fromBlock(a.block, a.idx+1)
+}

@@ -1,0 +1,396 @@
+package lint
+
+// guardedby enforces annotated lock discipline: a struct field carrying
+//
+//	// ghlint:guardedby <mutexField>
+//
+// may only be read where the named sibling mutex is provably held (any
+// mode), and only be written where it is provably held in write mode —
+// RLock suffices for reads only. "Provably held" is the must-hold
+// dataflow of lockset.go over the cfg.go control-flow graph, so
+// defer-unlock, early returns, branch joins, and loop backedges are all
+// modelled; an access is flagged exactly when *some* path reaches it
+// with the lock released, which is the shape of the PR 3 daemon race
+// (session stepped between Unlock and re-Lock).
+//
+// Helper functions that are documented to run with the lock already
+// held declare the contract on the function:
+//
+//	// ghlint:holds <expr>[ read]
+//
+// where <expr> names the mutex from the function's own receiver or
+// parameters (e.g. `a.mu`). The directive seeds the entry state of the
+// dataflow — it is trusted, not checked at call sites; the convention
+// (enforced by review) is that such helpers carry a *Locked name suffix.
+//
+// Function literals are analyzed as their own functions with an empty
+// entry state: a closure runs at an unknowable time, so a lock held
+// where the closure is *created* proves nothing about where it *runs*.
+// Known accepted holes, chosen to keep false positives at zero: accesses
+// through an unnameable base (an index or call result) are reported as
+// unprovable rather than guessed at; argument evaluation of a defer
+// statement is not checked; a pointer-receiver method call on a guarded
+// field counts as a read.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedbyAnalyzer is the lock-discipline analyzer.
+var GuardedbyAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated `// ghlint:guardedby <mutexField>` must only be " +
+		"accessed while the named mutex is provably held on every path " +
+		"(flow-sensitive); writes require Lock, reads accept RLock",
+	Run: runGuardedby,
+}
+
+// Annotation comment prefixes. Note these are distinct from the
+// suppression grammar (`//lint:ghlint ignore ...` in suppress.go):
+// suppressions silence findings, these *create* obligations.
+const (
+	guardedbyMarker = "ghlint:guardedby"
+	holdsMarker     = "ghlint:holds"
+)
+
+// guardSpec is one field's protection contract.
+type guardSpec struct {
+	structName string
+	fieldName  string
+	mutexField string
+}
+
+// directiveArg extracts the argument text of a `// <marker> <arg>`
+// comment, reporting whether the comment is that directive at all.
+func directiveArg(c *ast.Comment, marker string) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, marker) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, marker)
+	if rest != "" && !strings.HasPrefix(rest, " ") {
+		return "", false // e.g. "ghlint:guardedbytes" — a different word
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// isSyncMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isSyncMutexType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// collectGuards parses every guardedby directive in the package into a
+// field-object → contract map, reporting malformed directives.
+func collectGuards(pass *Pass) map[types.Object]guardSpec {
+	guards := make(map[types.Object]guardSpec)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				collectStructGuards(pass, ts, st, guards)
+			}
+		}
+	}
+	return guards
+}
+
+func collectStructGuards(pass *Pass, ts *ast.TypeSpec, st *ast.StructType, guards map[types.Object]guardSpec) {
+	for _, field := range st.Fields.List {
+		var dirs []*ast.Comment
+		for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if _, ok := directiveArg(c, guardedbyMarker); ok {
+					dirs = append(dirs, c)
+				}
+			}
+		}
+		if len(dirs) == 0 {
+			continue
+		}
+		// Directive problems are reported at the field, not the comment:
+		// fixtures put `// want` on the code line, and a want annotation
+		// inside the directive comment itself would corrupt its argument.
+		if len(dirs) > 1 {
+			pass.Reportf(field.Pos(), "duplicate ghlint:guardedby directive (a field has exactly one guard)")
+		}
+		arg, _ := directiveArg(dirs[0], guardedbyMarker)
+		parts := strings.Fields(arg)
+		if len(parts) != 1 {
+			pass.Reportf(field.Pos(), "malformed directive: want `// ghlint:guardedby <mutexField>`, got %q", strings.TrimSpace(strings.TrimPrefix(dirs[0].Text, "//")))
+			continue
+		}
+		mutexField := parts[0]
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "ghlint:guardedby on an embedded field is not supported (name the field)")
+			continue
+		}
+		if !validMutexField(pass, ts, mutexField, field.Pos()) {
+			continue
+		}
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if name.Name == mutexField {
+				pass.Reportf(field.Pos(), "field %s.%s cannot be guarded by itself", ts.Name.Name, name.Name)
+				continue
+			}
+			guards[obj] = guardSpec{structName: ts.Name.Name, fieldName: name.Name, mutexField: mutexField}
+		}
+	}
+}
+
+// validMutexField checks the named guard exists on the struct and is a
+// sync mutex, reporting at pos when it is not. The lookup goes through
+// the type checker's view of the struct so embedded mutexes (field name
+// "Mutex"/"RWMutex") resolve too.
+func validMutexField(pass *Pass, ts *ast.TypeSpec, mutexField string, pos token.Pos) bool {
+	obj := pass.Info.Defs[ts.Name]
+	if obj == nil {
+		return false
+	}
+	structT, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < structT.NumFields(); i++ {
+		f := structT.Field(i)
+		if f.Name() != mutexField {
+			continue
+		}
+		if !isSyncMutexType(f.Type()) {
+			pass.Reportf(pos, "guard field %s.%s is not a sync.Mutex or sync.RWMutex", ts.Name.Name, mutexField)
+			return false
+		}
+		return true
+	}
+	pass.Reportf(pos, "guard field %q does not exist in struct %s", mutexField, ts.Name.Name)
+	return false
+}
+
+// holdsEntry builds the dataflow entry state a function's ghlint:holds
+// directives declare. Malformed or unresolvable directives are reported
+// and the function is skipped (analyzing under a wrong contract would
+// only produce noise).
+func holdsEntry(pass *Pass, fn *ast.FuncDecl) (lockSet, bool) {
+	entry := lockSet{}
+	if fn.Doc == nil {
+		return entry, true
+	}
+	ok := true
+	for _, c := range fn.Doc.List {
+		arg, is := directiveArg(c, holdsMarker)
+		if !is {
+			continue
+		}
+		parts := strings.Fields(arg)
+		mode := modeWrite
+		if len(parts) == 2 && parts[1] == "read" {
+			mode = modeRead
+			parts = parts[:1]
+		}
+		// Reported at the func keyword, not the comment, so fixtures can
+		// carry `// want` without polluting the directive argument.
+		if len(parts) != 1 {
+			pass.Reportf(fn.Pos(), "malformed directive: want `// ghlint:holds <expr>[ read]`, got %q", strings.TrimSpace(strings.TrimPrefix(c.Text, "//")))
+			ok = false
+			continue
+		}
+		segs := strings.Split(parts[0], ".")
+		root := funcScopeVar(pass, fn, segs[0])
+		if root == nil {
+			pass.Reportf(fn.Pos(), "ghlint:holds: %q is not a receiver or parameter of %s", segs[0], fn.Name.Name)
+			ok = false
+			continue
+		}
+		key := lockKey{root: root}
+		if len(segs) > 1 {
+			key.path = "." + strings.Join(segs[1:], ".")
+		}
+		entry.set(key, mode)
+	}
+	return entry, ok
+}
+
+// funcScopeVar resolves a name against a function's receiver and
+// parameters.
+func funcScopeVar(pass *Pass, fn *ast.FuncDecl, name string) types.Object {
+	var lists []*ast.FieldList
+	if fn.Recv != nil {
+		lists = append(lists, fn.Recv)
+	}
+	if fn.Type.Params != nil {
+		lists = append(lists, fn.Type.Params)
+	}
+	for _, fl := range lists {
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if n.Name == name {
+					return pass.Info.Defs[n]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runGuardedby(pass *Pass) {
+	guards := collectGuards(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			entry, ok := holdsEntry(pass, fn)
+			if ok && len(guards) > 0 {
+				checkGuardedBody(pass, fn.Body, entry, guards)
+			}
+		}
+		if len(guards) == 0 {
+			continue
+		}
+		// Every function literal is its own function with an empty entry
+		// state; inspectSync inside checkGuardedBody skips nested literals,
+		// so each body is analyzed exactly once.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkGuardedBody(pass, fl.Body, lockSet{}, guards)
+			}
+			return true
+		})
+	}
+}
+
+// checkGuardedBody runs the lock-set dataflow over one function body
+// and reports every guarded-field access the flow cannot justify.
+func checkGuardedBody(pass *Pass, body *ast.BlockStmt, entry lockSet, guards map[types.Object]guardSpec) {
+	g := buildCFG(body)
+	if g.unsupported {
+		return // goto: no trustworthy graph, better silent than wrong
+	}
+	lf := solveLockFlow(g, pass.Info, entry)
+	lf.walk(func(n ast.Node, held lockSet) {
+		writes := make(map[ast.Expr]bool)
+		collectWriteTargets(n, writes)
+		inspectSync(n, func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.Info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			spec, guarded := guards[s.Obj()]
+			if !guarded {
+				return true
+			}
+			checkGuardedAccess(pass, sel, s, spec, held, writes[sel])
+			return true
+		})
+	})
+}
+
+// collectWriteTargets marks, within one CFG node, every expression that
+// is written: assignment left-hand sides, ++/--, address-taking (a
+// pointer to a guarded field can be written through at any time, so &f
+// is classified as a write), and the map argument of delete.
+func collectWriteTargets(n ast.Node, writes map[ast.Expr]bool) {
+	inspectSync(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markWriteTarget(lhs, writes)
+			}
+		case *ast.IncDecStmt:
+			markWriteTarget(x.X, writes)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				markWriteTarget(x.X, writes)
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+				markWriteTarget(x.Args[0], writes)
+			}
+		}
+		return true
+	})
+}
+
+// markWriteTarget classifies the base being mutated: writing s.f marks
+// the selector; writing s.m[k] or s.sl[i] mutates the container field,
+// so the index base is marked; writing *p mutates the pointee, not the
+// pointer-valued field, so the chain stops.
+func markWriteTarget(e ast.Expr, writes map[ast.Expr]bool) {
+	switch e := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		writes[e] = true
+		markWriteTarget(e.X, writes)
+	case *ast.IndexExpr:
+		markWriteTarget(e.X, writes)
+	}
+}
+
+func checkGuardedAccess(pass *Pass, sel *ast.SelectorExpr, s *types.Selection, spec guardSpec, held lockSet, isWrite bool) {
+	verb := "read"
+	need := modeRead
+	if isWrite {
+		verb = "write"
+		need = modeWrite
+	}
+	key, keyed := exprKey(pass.Info, sel.X)
+	if keyed {
+		// The guard is a sibling of the field in its declaring struct;
+		// promotion hops (all but the last selection index) lead there.
+		if idx := s.Index(); len(idx) > 1 {
+			path, ok := selectionFieldPath(baseType(pass.Info, sel.X), idx[:len(idx)-1])
+			if !ok {
+				keyed = false
+			} else {
+				key.path += path
+			}
+		}
+		key.path += "." + spec.mutexField
+	}
+	if !keyed {
+		pass.Reportf(sel.Pos(), "field %s.%s is guarded by %s: cannot prove the lock is held for this %s (receiver path is not a named variable)",
+			spec.structName, spec.fieldName, spec.mutexField, verb)
+		return
+	}
+	got := held.get(key)
+	if got >= need {
+		return
+	}
+	if isWrite && got == modeRead {
+		pass.Reportf(sel.Pos(), "field %s.%s is guarded by %s: write while %s is read-locked (RLock suffices for reads only)",
+			spec.structName, spec.fieldName, spec.mutexField, key.display())
+		return
+	}
+	pass.Reportf(sel.Pos(), "field %s.%s is guarded by %s: %s without holding %s (%s)",
+		spec.structName, spec.fieldName, spec.mutexField, verb, key.display(), held.describe())
+}

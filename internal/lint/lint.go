@@ -17,7 +17,7 @@
 // go/types so the tool builds with no third-party dependencies: the
 // linter that guards the build must not complicate it.
 //
-// Four analyzers ship today:
+// Seven analyzers ship today. Four are statement-local AST passes:
 //
 //   - determinism: forbids wall-clock, global-RNG, environment, and
 //     CPU-count reads inside the deterministic core packages.
@@ -27,6 +27,19 @@
 //     watt-suffixed (W/Watts) and watt-hour-suffixed (Wh) identifiers.
 //   - floateq: rejects ==/!= between non-constant floating-point
 //     expressions outside approved epsilon helpers.
+//
+// Three are flow-sensitive, built on a per-function CFG (cfg.go) and a
+// must-hold lock-set dataflow (lockset.go):
+//
+//   - guardedby: fields annotated `// ghlint:guardedby <mutexField>`
+//     are only accessed where the mutex is provably held on every path
+//     (RLock suffices for reads only; `// ghlint:holds` declares a
+//     caller-holds-lock contract on helpers).
+//   - goleak: every `go` statement needs a provable termination channel
+//     (WaitGroup pairing, context argument, or a callee that selects /
+//     receives / does not loop).
+//   - deferclose: net/os resources must be closed, returned, or stored
+//     on every control-flow path from their acquisition.
 //
 // Findings are suppressed line-by-line with a reasoned directive:
 //
@@ -53,6 +66,11 @@ type Diagnostic struct {
 	Analyzer string
 	// Message describes the violation and, where possible, the fix.
 	Message string
+	// Suppressed marks a finding silenced by a reasoned directive.
+	// RunPackage drops suppressed findings; RunPackageAll keeps them
+	// flagged, so the -json driver output can make suppression churn
+	// reviewable.
+	Suppressed bool
 }
 
 // Analyzer is one named check. Run inspects the package behind pass and
@@ -104,6 +122,9 @@ func Analyzers() []*Analyzer {
 		SeedflowAnalyzer,
 		UnitsafetyAnalyzer,
 		FloateqAnalyzer,
+		GuardedbyAnalyzer,
+		GoleakAnalyzer,
+		DefercloseAnalyzer,
 	}
 }
 
@@ -132,6 +153,20 @@ func lookupAnalyzer(name string) *Analyzer {
 // the surviving findings sorted by position then analyzer. The result
 // is deterministic: it depends only on the package's source.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range RunPackageAll(pkg, analyzers) {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunPackageAll is RunPackage without the suppression filter: silenced
+// findings are returned with Suppressed set instead of dropped, so a
+// reviewer (or the -json CI artifact) can see what the directives are
+// holding back. Ordering and determinism match RunPackage.
+func RunPackageAll(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	sups, supDiags := collectDirectives(pkg.Fset, pkg.Files)
 
 	var diags []Diagnostic
@@ -146,9 +181,8 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 		for _, d := range pass.diags {
-			if !sups.suppresses(pkg.Fset, d) {
-				diags = append(diags, d)
-			}
+			d.Suppressed = sups.suppresses(pkg.Fset, d)
+			diags = append(diags, d)
 		}
 	}
 	diags = append(diags, supDiags...)

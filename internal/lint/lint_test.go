@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -59,20 +60,56 @@ func TestParseDirective(t *testing.T) {
 	}
 }
 
-// TestCheckDirIsCwd pins Load's contract that dir names the process
-// working directory, the only root the source importer can resolve
-// module-local imports against.
-func TestCheckDirIsCwd(t *testing.T) {
-	if err := checkDirIsCwd("."); err != nil {
-		t.Errorf(`checkDirIsCwd(".") = %v, want nil`, err)
+// TestLoadFromSubdir pins the loader's module-root resolution: this
+// test's working directory is internal/lint (two levels below the
+// module root), yet Load works both on the current directory and on
+// patterns resolved from an explicit other directory — the old
+// must-be-cwd error is gone. It also verifies the cwd is restored.
+func TestLoadFromSubdir(t *testing.T) {
+	before, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := checkDirIsCwd(t.TempDir()); err == nil {
-		t.Error("checkDirIsCwd(non-cwd) = nil, want error")
+
+	pkgs, err := Load(".")
+	if err != nil {
+		t.Fatalf(`Load(".") from internal/lint: %v`, err)
+	}
+	found := false
+	for _, p := range pkgs {
+		if p.Path == "greenhetero/internal/lint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf(`Load(".") from internal/lint did not include the lint package itself`)
+	}
+
+	pkgs, err = Load("../..", "./internal/fit")
+	if err != nil {
+		t.Fatalf(`Load("../..", "./internal/fit"): %v`, err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "greenhetero/internal/fit" {
+		t.Fatalf(`Load("../..", "./internal/fit") = %+v, want exactly greenhetero/internal/fit`, pkgs)
+	}
+
+	after, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("Load changed the working directory: %q -> %q", before, after)
+	}
+}
+
+func TestModuleRootOutsideModule(t *testing.T) {
+	if _, err := moduleRoot(os.TempDir()); err == nil {
+		t.Error("moduleRoot(os.TempDir()) = nil error, want failure outside a module")
 	}
 }
 
 func TestAnalyzerNamesStable(t *testing.T) {
-	want := []string{"determinism", "seedflow", "unitsafety", "floateq"}
+	want := []string{"determinism", "seedflow", "unitsafety", "floateq", "guardedby", "goleak", "deferclose"}
 	got := AnalyzerNames()
 	if len(got) != len(want) {
 		t.Fatalf("AnalyzerNames() = %v, want %v", got, want)

@@ -47,25 +47,41 @@ type listedPackage struct {
 // Load enumerates the packages matching patterns (as the go tool would,
 // so "./..." works and testdata/ is skipped), parses their non-test
 // files, and type-checks them against source. dir is the directory to
-// resolve patterns from — typically "." — and MUST be the process
-// working directory: `go list` runs with cmd.Dir = dir, but the source
-// importer resolves module-local imports through a build context rooted
-// at the cwd, so a dir elsewhere would enumerate one tree and
-// type-check against another. Load fails fast on a mismatch rather
-// than silently mixing trees; callers that need another root should
-// chdir first (as the driver's tests do).
+// resolve patterns from — typically "." — and may be anywhere inside a
+// module: the loader asks `go list -m` for the module root and pins the
+// process working directory there for the duration of the load, because
+// the source importer resolves module-local imports through a build
+// context rooted at the cwd. (Earlier versions required dir to *be* the
+// cwd and errored otherwise; that made `go test ./internal/lint/...`
+// from the repo root awkward for no good reason.)
+//
+// The chdir is process-wide state: Load is not safe for concurrent use
+// with other Loads or with code that depends on the working directory.
+// The cwd is restored before Load returns.
 //
 // Type checking uses the standard library's source importer, so the
 // loader needs no pre-built export data and no dependencies outside the
 // Go toolchain — it works in a bare container and in CI alike.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	if err := checkDirIsCwd(dir); err != nil {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving dir %q: %v", dir, err)
+	}
+	root, err := moduleRoot(abs)
+	if err != nil {
 		return nil, err
 	}
+	restore, err := pinWorkingDir(root)
+	if err != nil {
+		return nil, err
+	}
+	defer restore()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	listed, err := goList(dir, patterns)
+	// Patterns still resolve from the caller's dir — `go list` gets its
+	// own Dir — so Load(".", "./...") in a subtree lints that subtree.
+	listed, err := goList(abs, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -101,27 +117,46 @@ func LoadFiles(importPath string, files ...string) (*Package, error) {
 	return checkFiles(fset, imp, importPath, files)
 }
 
-// checkDirIsCwd enforces Load's contract that dir names the process
-// working directory (symlinks resolved), the only root the source
-// importer can type-check module-local imports against.
-func checkDirIsCwd(dir string) error {
+// moduleRoot resolves the root directory of the module containing dir
+// via `go list -m -f {{.Dir}}`.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("lint: resolving module root of %q: %v\n%s", dir, err, stderr.String())
+	}
+	root := string(bytes.TrimSpace(stdout.Bytes()))
+	if root == "" {
+		return "", fmt.Errorf("lint: %q is not inside a module (go list -m returned no directory)", dir)
+	}
+	return root, nil
+}
+
+// pinWorkingDir switches the process to root for the load (the source
+// importer's build context follows the cwd) and returns the restore
+// function. Already being there — directly or through symlinks — is a
+// no-op.
+func pinWorkingDir(root string) (func(), error) {
 	wd, err := os.Getwd()
 	if err != nil {
-		return fmt.Errorf("lint: getwd: %v", err)
+		return nil, fmt.Errorf("lint: getwd: %v", err)
 	}
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return fmt.Errorf("lint: resolving dir %q: %v", dir, err)
+	same := wd == root
+	if !same {
+		rr, errR := filepath.EvalSymlinks(root)
+		rw, errW := filepath.EvalSymlinks(wd)
+		same = errR == nil && errW == nil && rr == rw
 	}
-	if abs == wd {
-		return nil
+	if same {
+		return func() {}, nil
 	}
-	ra, errA := filepath.EvalSymlinks(abs)
-	rw, errW := filepath.EvalSymlinks(wd)
-	if errA == nil && errW == nil && ra == rw {
-		return nil
+	if err := os.Chdir(root); err != nil {
+		return nil, fmt.Errorf("lint: entering module root %q: %v", root, err)
 	}
-	return fmt.Errorf("lint: Load dir %q is not the working directory %q; the source importer resolves module-local imports relative to the cwd, so chdir to dir before calling Load", dir, wd)
+	return func() { _ = os.Chdir(wd) }, nil
 }
 
 // goList shells out to `go list -json` and decodes the stream.

@@ -1,0 +1,364 @@
+package lint
+
+// lockset.go is the forward dataflow engine over funcCFG that the
+// guardedby analyzer runs on: it tracks, at every statement, the set of
+// named mutexes that are *provably held on all paths* reaching it (a
+// "must" analysis), and in which mode (read vs write).
+//
+// Lattice. A state is either TOP (start value for blocks not yet
+// reached — everything held) or a finite map lockKey → mode. The meet
+// at a join point is key intersection with mode minimum: a lock counts
+// as held only if every incoming path holds it, and only as a read
+// lock if any path holds merely RLock. States only ever shrink under
+// meet and the key space per function is finite, so the fixpoint
+// terminates.
+//
+// Lock identity. A mutex is named by the *path* that reaches it from a
+// root variable object: d.mu is (object d, ".mu"), a bare local mu is
+// (object mu, ""), and a lock via an embedded sync.Mutex — s.Lock() on
+// a struct embedding Mutex — resolves through the type-checker's
+// selection index to (object s, ".Mutex"). Pointer dereferences are
+// transparent ((*p).mu ≡ p.mu). Paths the engine cannot name (an index
+// expression, a call result) are simply not tracked; the guardedby
+// analyzer treats an unnameable guard as unproven, which errs toward
+// reporting.
+//
+// Transfer. Lock/RLock set the key's mode, Unlock/RUnlock clear it.
+// `defer mu.Unlock()` is deliberately a no-op: the unlock runs at
+// function exit, so the lock stays held for the remainder of the body —
+// which is precisely the defer-unlock idiom's meaning. Calls inside go
+// statements and function literals do not transfer either (they do not
+// run at this program point); inspectSync enforces all three rules.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockMode is how a mutex is held.
+type lockMode int
+
+const (
+	modeRead  lockMode = 1 // RLock: sufficient for reads of guarded fields
+	modeWrite lockMode = 2 // Lock: required for writes
+)
+
+// lockKey names one mutex: a root variable and a field path.
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// lockSet is one dataflow state.
+type lockSet struct {
+	top  bool
+	held map[lockKey]lockMode
+}
+
+// topLockSet is the ⊤ element: the not-yet-computed "everything held".
+func topLockSet() lockSet { return lockSet{top: true} }
+
+func (s lockSet) clone() lockSet {
+	if s.top {
+		return s
+	}
+	m := make(map[lockKey]lockMode, len(s.held))
+	for k, v := range s.held {
+		m[k] = v
+	}
+	return lockSet{held: m}
+}
+
+// get returns the mode k is held in (0 if not held). TOP holds all.
+func (s lockSet) get(k lockKey) lockMode {
+	if s.top {
+		return modeWrite
+	}
+	return s.held[k]
+}
+
+func (s *lockSet) set(k lockKey, m lockMode) {
+	if s.top {
+		return // TOP absorbs; TOP states are never walked for reporting
+	}
+	if s.held == nil {
+		s.held = make(map[lockKey]lockMode)
+	}
+	s.held[k] = m
+}
+
+func (s *lockSet) clear(k lockKey) {
+	if s.top {
+		return
+	}
+	delete(s.held, k)
+}
+
+// meet is the lattice meet: key intersection, mode minimum.
+func (s lockSet) meet(o lockSet) lockSet {
+	if s.top {
+		return o.clone()
+	}
+	if o.top {
+		return s.clone()
+	}
+	m := make(map[lockKey]lockMode)
+	for k, v := range s.held {
+		if ov, ok := o.held[k]; ok {
+			if ov < v {
+				v = ov
+			}
+			m[k] = v
+		}
+	}
+	return lockSet{held: m}
+}
+
+func (s lockSet) eq(o lockSet) bool {
+	if s.top || o.top {
+		return s.top == o.top
+	}
+	if len(s.held) != len(o.held) {
+		return false
+	}
+	for k, v := range s.held {
+		if o.held[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// describe renders the held set for diagnostics, in stable order.
+func (s lockSet) describe() string {
+	if s.top {
+		return "⊤"
+	}
+	if len(s.held) == 0 {
+		return "no locks held"
+	}
+	var parts []string
+	for k, v := range s.held {
+		mode := "write"
+		if v == modeRead {
+			mode = "read"
+		}
+		parts = append(parts, k.display()+"("+mode+")")
+	}
+	sort.Strings(parts)
+	return "holding " + strings.Join(parts, ", ")
+}
+
+// display renders a key as the source-ish path that names it.
+func (k lockKey) display() string {
+	if k.root == nil {
+		return strings.TrimPrefix(k.path, ".")
+	}
+	return k.root.Name() + k.path
+}
+
+// lockMethodModes maps sync mutex method names to their transfer.
+var lockMethodModes = map[string]struct {
+	mode    lockMode
+	release bool
+}{
+	"Lock":    {mode: modeWrite},
+	"RLock":   {mode: modeRead},
+	"Unlock":  {release: true},
+	"RUnlock": {release: true},
+}
+
+// exprKey names the variable path an expression denotes, following
+// idents, field selections (including promotions through embedded
+// structs), and pointer dereferences. ok is false for anything else —
+// index expressions, call results, literals.
+func exprKey(info *types.Info, e ast.Expr) (lockKey, bool) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return lockKey{root: v}, true
+		}
+		return lockKey{}, false
+	case *ast.SelectorExpr:
+		base, ok := exprKey(info, e.X)
+		if !ok {
+			return lockKey{}, false
+		}
+		sel := info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return lockKey{}, false
+		}
+		path, ok := selectionFieldPath(baseType(info, e.X), sel.Index())
+		if !ok {
+			return lockKey{}, false
+		}
+		base.path += path
+		return base, true
+	case *ast.StarExpr:
+		return exprKey(info, e.X)
+	}
+	return lockKey{}, false
+}
+
+// baseType returns the type of an expression, nil if unknown.
+func baseType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// selectionFieldPath renders a types.Selection field index sequence as
+// a ".f.g" path against the base type, resolving embedded hops.
+func selectionFieldPath(t types.Type, index []int) (string, bool) {
+	var sb strings.Builder
+	for _, i := range index {
+		if t == nil {
+			return "", false
+		}
+		st, ok := derefType(t).Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return "", false
+		}
+		f := st.Field(i)
+		sb.WriteString(".")
+		sb.WriteString(f.Name())
+		t = f.Type()
+	}
+	return sb.String(), true
+}
+
+// derefType strips one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// syncLockCall classifies a call as a sync.Mutex/RWMutex lock-family
+// method and names the mutex it targets. Embedded mutexes resolve to
+// the embedded field's path: s.Lock() on a struct embedding sync.Mutex
+// yields key (s, ".Mutex").
+func syncLockCall(info *types.Info, call *ast.CallExpr) (key lockKey, mode lockMode, release, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return lockKey{}, 0, false, false
+	}
+	spec, isLockName := lockMethodModes[sel.Sel.Name]
+	if !isLockName {
+		return lockKey{}, 0, false, false
+	}
+	fn, isFunc := info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockKey{}, 0, false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockKey{}, 0, false, false
+	}
+	named, isNamed := derefType(recv.Type()).(*types.Named)
+	if !isNamed {
+		return lockKey{}, 0, false, false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return lockKey{}, 0, false, false
+	}
+	key, keyed := exprKey(info, sel.X)
+	if !keyed {
+		return lockKey{}, 0, false, false
+	}
+	// A promoted method reaches the mutex through embedded fields: the
+	// selection index names the hops, the last entry being the method.
+	if s := info.Selections[sel]; s != nil && len(s.Index()) > 1 {
+		path, pathOK := selectionFieldPath(baseType(info, sel.X), s.Index()[:len(s.Index())-1])
+		if !pathOK {
+			return lockKey{}, 0, false, false
+		}
+		key.path += path
+	}
+	return key, spec.mode, spec.release, true
+}
+
+// applyLockOps advances the state across one CFG node.
+func applyLockOps(info *types.Info, n ast.Node, s *lockSet) {
+	inspectSync(n, func(x ast.Node) bool {
+		call, isCall := x.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		key, mode, release, ok := syncLockCall(info, call)
+		if !ok {
+			return true
+		}
+		if release {
+			s.clear(key)
+		} else if mode > s.get(key) {
+			s.set(key, mode)
+		}
+		return true
+	})
+}
+
+// lockFlow is the solved dataflow: the entry state of every block.
+type lockFlow struct {
+	g    *funcCFG
+	info *types.Info
+	in   []lockSet
+}
+
+// solveLockFlow runs the worklist to fixpoint. entry seeds the entry
+// block — empty for a plain function, pre-held for a function carrying
+// a ghlint:holds directive.
+func solveLockFlow(g *funcCFG, info *types.Info, entry lockSet) *lockFlow {
+	lf := &lockFlow{g: g, info: info, in: make([]lockSet, len(g.blocks))}
+	for i := range lf.in {
+		lf.in[i] = topLockSet()
+	}
+	lf.in[g.entry.index] = entry.clone()
+
+	work := []*cfgBlock{g.entry}
+	queued := make([]bool, len(g.blocks))
+	queued[g.entry.index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.index] = false
+
+		out := lf.in[b.index].clone()
+		for _, n := range b.nodes {
+			applyLockOps(info, n, &out)
+		}
+		for _, succ := range b.succs {
+			merged := lf.in[succ.index].meet(out)
+			if !merged.eq(lf.in[succ.index]) {
+				lf.in[succ.index] = merged
+				if !queued[succ.index] {
+					queued[succ.index] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	return lf
+}
+
+// walk visits every node of every reached block with the lock state in
+// force *before* the node executes. Blocks still at TOP (unreachable)
+// are skipped: nothing in dead code is reportable.
+func (lf *lockFlow) walk(visit func(n ast.Node, held lockSet)) {
+	for _, b := range lf.g.blocks {
+		st := lf.in[b.index]
+		if st.top {
+			continue
+		}
+		st = st.clone()
+		for _, n := range b.nodes {
+			visit(n, st)
+			applyLockOps(lf.info, n, &st)
+		}
+	}
+}

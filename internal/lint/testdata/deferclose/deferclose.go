@@ -1,0 +1,106 @@
+// Fixture for the deferclose analyzer: a net/os resource must be
+// closed, returned, or stored on every control-flow path after its
+// acquisition. Error-path early returns are exempt (the handle is nil
+// there), nil-tests are not disposals, and a branch that forgets the
+// handle is flagged at the acquisition.
+package deferclose
+
+import (
+	"net"
+	"os"
+)
+
+// deferClosed is the canonical shape: error path exempt, happy path
+// covered by the deferred close.
+func deferClosed(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Write([]byte("ping\n"))
+	return err
+}
+
+// escapes transfers ownership to the caller; returning the resource is
+// a disposal.
+func escapes(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// stored hands the handle to a longer-lived owner.
+type holder struct {
+	f *os.File
+}
+
+func (h *holder) open(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+// leakyBranch closes on the verbose path only; the quiet path returns
+// with the socket still open.
+func leakyBranch(addr string, verbose bool) error {
+	conn, err := net.Dial("tcp", addr) // want "net.Dial result conn is not closed on every path"
+	if err != nil {
+		return err
+	}
+	if verbose {
+		return conn.Close()
+	}
+	return nil
+}
+
+// leakyListener forgets the listener on the early-out path; the final
+// close does not cover it.
+func leakyListener(addr string, ready chan<- struct{}) error {
+	ln, err := net.Listen("tcp", addr) // want "net.Listen result ln is not closed on every path"
+	if err != nil {
+		return err
+	}
+	select {
+	case ready <- struct{}{}:
+	default:
+		return nil
+	}
+	return ln.Close()
+}
+
+// nilTestIsNotDisposal: comparing the handle against nil does not count
+// as taking responsibility for it.
+func nilTestIsNotDisposal(path string) bool {
+	f, err := os.Open(path) // want "os.Open result f is not closed on every path"
+	if err != nil {
+		return false
+	}
+	return f != nil
+}
+
+// dialerMethod covers the method-receiver acquirers the telemetry
+// transport uses.
+func dialerMethod(addr string) error {
+	var d net.Dialer
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return nil
+}
+
+// crashPathIsFine: a terminating call ends the path without complaint.
+func crashPathIsFine(path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,111 @@
+// Fixture for the goleak analyzer: a goroutine passes with a WaitGroup
+// pairing in its launcher, a context.Context argument, or a visible
+// callee that selects, receives, or does not loop. Fire-and-forget
+// infinite loops are flagged.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// ctxCancelled passes rule 2: the context argument is the termination
+// contract.
+func ctxCancelled(ctx context.Context) {
+	go pump(ctx)
+}
+
+func pump(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// waitGroupPaired passes rule 1: the launcher Adds before spawning.
+func waitGroupPaired(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(j func()) {
+			defer wg.Done()
+			j()
+		}(job)
+	}
+	wg.Wait()
+}
+
+// fireAndForget is the classic leak: an infinite loop nobody can stop.
+func fireAndForget(sink chan<- int) {
+	go func() { // want "no provable termination channel"
+		n := 0
+		for {
+			n++
+			sink <- n
+		}
+	}()
+}
+
+// selectStop passes rule 3: the literal selects on a stop channel.
+func selectStop(stop <-chan struct{}, sink chan<- int) {
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case sink <- n:
+				n++
+			}
+		}
+	}()
+}
+
+// straightLine passes rule 3: no loops — the body runs off the end.
+func straightLine(errs chan<- error, work func() error) {
+	go func() { errs <- work() }()
+}
+
+// rangeChannel passes rule 3: ranging a channel ends when it closes.
+func rangeChannel(in <-chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+type server struct {
+	stop chan struct{}
+}
+
+// start passes rule 3 through a method callee declared in this package:
+// loop's body selects on the stop channel.
+func (s *server) start() {
+	go s.loop()
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// spin loops forever with no exit signal; launching it is flagged even
+// though the go statement itself looks innocent.
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+func launchSpin() {
+	go spin() // want "no provable termination channel"
+}

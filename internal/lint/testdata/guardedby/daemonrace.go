@@ -1,0 +1,52 @@
+// Regression fixture reproducing the PR 3 daemon race shape: the
+// control loop released d.mu to avoid holding it across a slow step,
+// then stepped the session *in the gap* — so /status handlers reading
+// under RLock raced the step. Only -race at runtime caught it then;
+// guardedby must catch it at build time now. The fixed variant (step
+// under the write lock, exactly the shipped fix) must be clean.
+package guardedby
+
+import "sync"
+
+type session struct{ epoch int }
+
+func (s *session) Step() { s.epoch++ }
+
+type daemon struct {
+	mu sync.RWMutex
+	// ghlint:guardedby mu
+	session *session
+	// ghlint:guardedby mu
+	history []int
+}
+
+// racyLoop is the pre-PR-3 shape: unlock, step, re-lock.
+func (d *daemon) racyLoop() {
+	for {
+		d.mu.Lock()
+		h := len(d.history)
+		d.mu.Unlock()
+		d.session.Step() // want "field daemon.session is guarded by mu: read without holding d.mu"
+		d.mu.Lock()
+		d.history = append(d.history, h)
+		d.mu.Unlock()
+	}
+}
+
+// fixedLoop is the shipped fix: the step happens under the write lock,
+// and the status read path takes RLock.
+func (d *daemon) fixedLoop() {
+	for {
+		d.mu.Lock()
+		d.session.Step()
+		d.history = append(d.history, len(d.history))
+		d.mu.Unlock()
+	}
+}
+
+// statusRead is the handler side: RLock suffices for reads.
+func (d *daemon) statusRead() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.history) + d.session.epoch
+}

@@ -1,0 +1,166 @@
+// Fixture for the guardedby analyzer: fields annotated
+// `// ghlint:guardedby <mutexField>` may only be touched where the
+// lock-set dataflow proves the mutex held — defer-unlock and
+// early-return shapes pass, access-after-Unlock and write-under-RLock
+// are flagged, and embedded mutexes resolve by their promoted name.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	// ghlint:guardedby mu
+	n int
+	// ghlint:guardedby mu
+	labels map[string]int
+}
+
+// plainLock is the baseline: everything inside Lock/Unlock passes.
+func (c *counter) plainLock() {
+	c.mu.Lock()
+	c.n++
+	c.labels["total"] = c.n
+	c.mu.Unlock()
+}
+
+// deferUnlock holds to function exit; the whole body is covered.
+func (c *counter) deferUnlock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// earlyReturn releases on the early path and keeps the lock on the
+// fall-through path: both access patterns are provably covered.
+func (c *counter) earlyReturn(skip bool) int {
+	c.mu.Lock()
+	if skip {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// afterUnlock touches the field once the lock is gone.
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want "write without holding c.mu"
+}
+
+// readLocked reads under RLock: sufficient.
+func (c *counter) readLocked() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// writeUnderRLock mutates under a read lock: flagged, with the mode in
+// the message.
+func (c *counter) writeUnderRLock() {
+	c.mu.RLock()
+	c.n++ // want "RLock suffices for reads only"
+	c.mu.RUnlock()
+}
+
+// readUnlocked reads with no lock at all.
+func (c *counter) readUnlocked() int {
+	return c.n // want "read without holding c.mu"
+}
+
+// deleteIsAWrite mutates the guarded map.
+func (c *counter) deleteIsAWrite(k string) {
+	c.mu.RLock()
+	delete(c.labels, k) // want "RLock suffices for reads only"
+	c.mu.RUnlock()
+}
+
+// branchMeet joins a locked and an unlocked path: must-analysis drops
+// the lock at the join.
+func (c *counter) branchMeet(lock bool) {
+	if lock {
+		c.mu.Lock()
+	}
+	c.n++ // want "write without holding c.mu"
+	if lock {
+		c.mu.Unlock()
+	}
+}
+
+// closureEscapes runs at an unknowable time: the lock held where the
+// literal is created proves nothing about where it runs.
+func (c *counter) closureEscapes() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.n++ // want "write without holding c.mu"
+	}
+}
+
+// lockedHelper declares the caller-holds contract; the entry state is
+// seeded and the body passes with no lock operations of its own.
+//
+// ghlint:holds c.mu
+func (c *counter) lockedHelper() {
+	c.n++
+}
+
+// readHelper holds the read side only: reads pass, writes would not.
+//
+// ghlint:holds c.mu read
+func (c *counter) readHelper() int {
+	return c.n
+}
+
+// holdsReadIsNotWrite: a read-mode contract does not license writes.
+//
+// ghlint:holds c.mu read
+func (c *counter) holdsReadIsNotWrite() {
+	c.n++ // want "RLock suffices for reads only"
+}
+
+// embedded guards through a promoted sync.Mutex: the lock call is
+// s.Lock(), the guard key is the embedded field's name.
+type embedded struct {
+	sync.Mutex
+	// ghlint:guardedby Mutex
+	state string
+}
+
+func (e *embedded) ok() {
+	e.Lock()
+	e.state = "ready"
+	e.Unlock()
+}
+
+func (e *embedded) bad() string {
+	return e.state // want "read without holding e.Mutex"
+}
+
+// badDirectives: every malformed annotation is itself a finding,
+// reported at the field it decorates.
+type badDirectives struct {
+	mu sync.Mutex
+	nt string
+	// ghlint:guardedby missing
+	a int // want "guard field \"missing\" does not exist in struct badDirectives"
+	// ghlint:guardedby nt
+	b int // want "is not a sync.Mutex or sync.RWMutex"
+	// ghlint:guardedby mu extra words
+	c int // want "malformed directive"
+}
+
+// ghlint:holds nosuch.mu
+func badHolds(d *badDirectives) { // want "not a receiver or parameter"
+	_ = d
+}
+
+// selfGuard pins the self-reference error.
+type selfGuard struct {
+	// ghlint:guardedby mu
+	mu sync.Mutex // want "cannot be guarded by itself"
+}

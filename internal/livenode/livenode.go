@@ -32,10 +32,13 @@ type Node struct {
 	spec server.Spec
 	w    workload.Workload
 
-	mu        sync.Mutex
-	targetW   float64
+	mu sync.Mutex
+	// ghlint:guardedby mu
+	targetW float64
+	// ghlint:guardedby mu
 	intensity float64
-	rng       *rand.Rand
+	// ghlint:guardedby mu
+	rng *rand.Rand
 }
 
 // NewNode builds a node running workload w at full intensity with no

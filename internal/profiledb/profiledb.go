@@ -86,8 +86,12 @@ var (
 
 // DB is the thread-safe store.
 type DB struct {
-	mu         sync.RWMutex
-	entries    map[Key]*Entry
+	mu sync.RWMutex
+	// ghlint:guardedby mu
+	entries map[Key]*Entry
+	// maxSamples is set only by Options inside New, before the DB is
+	// published to any other goroutine, and is immutable afterwards — so
+	// it is deliberately not guarded.
 	maxSamples int
 }
 
@@ -276,6 +280,8 @@ func (db *DB) Save(w io.Writer) error {
 }
 
 // keysLocked returns sorted keys; caller must hold at least RLock.
+//
+// ghlint:holds db.mu read
 func (db *DB) keysLocked() []Key {
 	keys := make([]Key, 0, len(db.entries))
 	for k := range db.entries {

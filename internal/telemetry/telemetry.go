@@ -90,8 +90,10 @@ type Agent struct {
 	sampler Sampler
 	ln      net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	mu sync.Mutex
+	// ghlint:guardedby mu
+	conns map[net.Conn]struct{}
+	// ghlint:guardedby mu
 	closed bool
 
 	wg sync.WaitGroup
@@ -319,28 +321,42 @@ type AgentHealth struct {
 // connection, its breaker, its jitter stream, and its last-known-good
 // reading. The mutex serializes exchanges per agent.
 type agentState struct {
-	addr string
+	addr string // immutable after construction; the one unguarded field
 
-	mu  sync.Mutex
+	mu sync.Mutex
+	// ghlint:guardedby mu
 	rng *rand.Rand // backoff jitter, seeded via runner.DeriveSeed
 
+	// ghlint:guardedby mu
 	conn net.Conn
-	rd   *bufio.Reader
+	// ghlint:guardedby mu
+	rd *bufio.Reader
 
-	state     BreakerState
-	fails     int // consecutive failures
+	// ghlint:guardedby mu
+	state BreakerState
+	// ghlint:guardedby mu
+	fails int // consecutive failures
+	// ghlint:guardedby mu
 	coolEpoch int // Collect epochs spent open
+	// ghlint:guardedby mu
 	succTotal uint64
+	// ghlint:guardedby mu
 	failTotal uint64
-	lastErr   error
+	// ghlint:guardedby mu
+	lastErr error
 
-	lastGood  Reading
-	hasGood   bool
+	// ghlint:guardedby mu
+	lastGood Reading
+	// ghlint:guardedby mu
+	hasGood bool
+	// ghlint:guardedby mu
 	staleLast bool
 }
 
-// closeConn drops the persistent connection (held under a.mu).
-func (a *agentState) closeConn() {
+// closeConnLocked drops the persistent connection.
+//
+// ghlint:holds a.mu
+func (a *agentState) closeConnLocked() {
 	if a.conn != nil {
 		_ = a.conn.Close()
 		a.conn = nil
@@ -423,7 +439,7 @@ func NewCollector(addrs []string, opts ...CollectorOption) (*Collector, error) {
 func (c *Collector) Close() error {
 	for _, a := range c.agents {
 		a.mu.Lock()
-		a.closeConn()
+		a.closeConnLocked()
 		a.mu.Unlock()
 	}
 	return nil
@@ -558,6 +574,8 @@ func (c *Collector) collectOne(ctx context.Context, a *agentState) Result {
 
 // degraded builds the failed-agent result: last-known-good flagged
 // Stale when available, otherwise the error itself.
+//
+// ghlint:holds a.mu
 func (c *Collector) degraded(a *agentState, err error) Result {
 	if a.hasGood {
 		return Result{Addr: a.addr, Reading: a.lastGood, Stale: true}
@@ -566,6 +584,8 @@ func (c *Collector) degraded(a *agentState, err error) Result {
 }
 
 // recordFailureLocked updates health counters and may open the breaker.
+//
+// ghlint:holds a.mu
 func (c *Collector) recordFailureLocked(a *agentState, err error) {
 	a.fails++
 	a.failTotal++
@@ -583,6 +603,8 @@ func (c *Collector) recordFailureLocked(a *agentState, err error) {
 }
 
 // recordSuccessLocked resets health state and closes the breaker.
+//
+// ghlint:holds a.mu
 func (c *Collector) recordSuccessLocked(a *agentState) {
 	a.fails = 0
 	a.succTotal++
@@ -676,6 +698,8 @@ func (c *Collector) exchangeLocked(ctx context.Context, a *agentState, req reque
 // exponential in try, capped, with 50–100 % seeded jitter. The jitter
 // stream comes from the configured seed (via runner.DeriveSeed), never
 // the wall clock, so retry schedules are reproducible.
+//
+// ghlint:holds a.mu
 func (c *Collector) backoff(a *agentState, try int) time.Duration {
 	d := c.retry.BaseDelay << (try - 1)
 	if d > c.retry.MaxDelay || d <= 0 {
@@ -687,7 +711,9 @@ func (c *Collector) backoff(a *agentState, try int) time.Duration {
 
 // roundTripLocked performs one exchange on the persistent connection,
 // dialing if needed. Any failure tears the connection down so the next
-// attempt redials cleanly. Called with a.mu held.
+// attempt redials cleanly.
+//
+// ghlint:holds a.mu
 func (a *agentState) roundTripLocked(ctx context.Context, req request, timeout time.Duration) (response, error) {
 	if a.conn == nil {
 		d := net.Dialer{Timeout: timeout}
@@ -699,7 +725,7 @@ func (a *agentState) roundTripLocked(ctx context.Context, req request, timeout t
 		a.rd = bufio.NewReader(conn)
 	}
 	if err := a.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		a.closeConn()
+		a.closeConnLocked()
 		return response{}, fmt.Errorf("deadline %s: %w", a.addr, err)
 	}
 	line, err := json.Marshal(req)
@@ -707,19 +733,19 @@ func (a *agentState) roundTripLocked(ctx context.Context, req request, timeout t
 		return response{}, fmt.Errorf("encode %s: %w", a.addr, err)
 	}
 	if _, err := a.conn.Write(append(line, '\n')); err != nil {
-		a.closeConn()
+		a.closeConnLocked()
 		return response{}, fmt.Errorf("send %s: %w", a.addr, err)
 	}
 	raw, err := readLine(a.rd, MaxLineBytes)
 	if err != nil {
-		a.closeConn()
+		a.closeConnLocked()
 		return response{}, fmt.Errorf("recv %s: %w", a.addr, err)
 	}
 	var resp response
 	if err := json.Unmarshal(raw, &resp); err != nil {
 		// A garbled response leaves the stream unframed: drop the
 		// connection rather than trust subsequent lines.
-		a.closeConn()
+		a.closeConnLocked()
 		return response{}, fmt.Errorf("decode %s: %w", a.addr, err)
 	}
 	return resp, nil
