@@ -7,12 +7,20 @@
 //	greenheterod [-listen 127.0.0.1:7946] [-tick 1s] [-history 1024]
 //	             [-combo Comb1] [-workload specjbb] [-policy GreenHetero]
 //	             [-trace high|low] [-grid 1000] [-panel 2200] [-seed 7]
+//	             [-state-dir /var/lib/greenheterod] [-snapshot-every 32]
 //
 // Then:
 //
 //	curl localhost:7946/status
 //	curl localhost:7946/history
 //	curl localhost:7946/db
+//
+// With -state-dir set, the controller's state is crash-safe: every epoch
+// is journaled to a write-ahead log before it takes effect, an atomic
+// snapshot compacts the log every -snapshot-every epochs, and a restart
+// over the same directory (after SIGTERM or a crash) resumes the session
+// exactly where it stopped. On SIGINT/SIGTERM the daemon writes a final
+// checkpoint before exiting.
 package main
 
 import (
@@ -72,6 +80,8 @@ func run(ctx context.Context, args []string) error {
 	panel := fs.Float64("panel", 2200, "PV array peak output (W)")
 	seed := fs.Int64("seed", 7, "measurement noise seed")
 	scenarioPath := fs.String("scenario", "", "load the rack from a JSON scenario file (overrides combo/workload/trace flags)")
+	stateDir := fs.String("state-dir", "", "directory for the write-ahead log and snapshots; enables crash-safe resume across restarts")
+	snapshotEvery := fs.Int("snapshot-every", 32, "epochs between WAL-compacting snapshots (with -state-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,13 +107,29 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-	d, err := daemon.New(daemon.Config{Session: session, Tick: *tick, HistoryLimit: *history})
+	d, err := daemon.New(daemon.Config{
+		Session:       session,
+		Tick:          *tick,
+		HistoryLimit:  *history,
+		StateDir:      *stateDir,
+		SnapshotEvery: *snapshotEvery,
+	})
 	if err != nil {
 		return err
 	}
 	// Stop is safe in any state, so the deferred cleanup can be
-	// registered before Start: an error path below still tears down.
+	// registered before Start: an error path below still tears down —
+	// and, with -state-dir, flushes a final checkpoint.
 	defer d.Stop()
+	if *stateDir != "" {
+		if d.Recovered() {
+			fmt.Printf("greenheterod: recovered state from %s, resuming at epoch %d\n",
+				*stateDir, session.Epoch())
+		} else {
+			fmt.Printf("greenheterod: journaling state to %s (snapshot every %d epochs)\n",
+				*stateDir, *snapshotEvery)
+		}
+	}
 	if err := d.Start(); err != nil {
 		return err
 	}
@@ -127,6 +153,12 @@ func run(ctx context.Context, args []string) error {
 		}
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		// The deferred Stop below writes the final checkpoint; saying so
+		// here makes a clean SIGTERM distinguishable from a crash in logs.
+		d.Stop()
+		if *stateDir != "" {
+			fmt.Printf("greenheterod: final checkpoint written to %s\n", *stateDir)
 		}
 		return nil
 	}

@@ -148,3 +148,60 @@ func TestRunScenarioFile(t *testing.T) {
 		t.Error("missing scenario should error")
 	}
 }
+
+// TestRunResumesFromStateDir runs the daemon twice over one -state-dir:
+// the second life must report recovered=true and resume past the first
+// life's progress.
+func TestRunResumesFromStateDir(t *testing.T) {
+	dir := t.TempDir()
+
+	// statusAt polls until /status decodes and cond holds.
+	statusAt := func(addr string, cond func(epochs int, recovered bool) bool) bool {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(fmt.Sprintf("http://%s/status", addr))
+			if err != nil {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			var st struct {
+				SessionEpoch int  `json:"sessionEpoch"`
+				Recovered    bool `json:"recovered"`
+			}
+			decodeErr := json.NewDecoder(resp.Body).Decode(&st)
+			if err := resp.Body.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if decodeErr == nil && cond(st.SessionEpoch, st.Recovered) {
+				return true
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return false
+	}
+
+	life := func(wantRecovered bool, minEpoch int) {
+		addr := freePort(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- run(ctx, []string{
+				"-listen", addr, "-tick", "5ms",
+				"-state-dir", dir, "-snapshot-every", "2",
+			})
+		}()
+		ok := statusAt(addr, func(epochs int, recovered bool) bool {
+			return recovered == wantRecovered && epochs > minEpoch
+		})
+		cancel()
+		if err := <-errCh; err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if !ok {
+			t.Fatalf("daemon never reached recovered=%v past epoch %d", wantRecovered, minEpoch)
+		}
+	}
+
+	life(false, 2) // first life: fresh dir, make progress, SIGTERM-equivalent exit
+	life(true, 2)  // second life: resumes from the final checkpoint
+}

@@ -182,6 +182,78 @@ func (b *Bank) SetSoC(frac float64) error {
 	return nil
 }
 
+// State is a bank's complete durable state: everything New does not
+// derive from Config. Serialized into daemon checkpoints; float fields
+// survive a JSON round-trip bit-exactly (Go emits shortest-round-trip
+// representations), which the crash-equivalence tests rely on.
+type State struct {
+	ChargeWh      float64 `json:"chargeWh"`
+	Cycles        int     `json:"cycles"`
+	AtFloor       bool    `json:"atFloor"`
+	DischargedWh  float64 `json:"dischargedWh"`
+	ChargedWh     float64 `json:"chargedWh"`
+	GridChargedWh float64 `json:"gridChargedWh"`
+}
+
+// State snapshots the bank's mutable state.
+func (b *Bank) State() State {
+	return State{
+		ChargeWh:      b.chargeWh,
+		Cycles:        b.cycles,
+		AtFloor:       b.atFloor,
+		DischargedWh:  b.dischargedWh,
+		ChargedWh:     b.chargedWh,
+		GridChargedWh: b.gridChargedWh,
+	}
+}
+
+// ErrBadState is returned by Restore for snapshots that violate the
+// bank's invariants (typically a snapshot taken under a different
+// Config, or a hand-edited file).
+var ErrBadState = errors.New("battery: bad state")
+
+// Restore overwrites the bank's mutable state from a snapshot taken by
+// State on a bank with the same Config. The snapshot is validated
+// against the bank's invariants before anything is applied, so a failed
+// Restore leaves the bank untouched.
+func (b *Bank) Restore(st State) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"chargeWh", st.ChargeWh},
+		{"dischargedWh", st.DischargedWh},
+		{"chargedWh", st.ChargedWh},
+		{"gridChargedWh", st.GridChargedWh},
+	} {
+		name, v := f.name, f.v
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite %s", ErrBadState, name)
+		}
+		if v < 0 {
+			return fmt.Errorf("%w: negative %s %v", ErrBadState, name, v)
+		}
+	}
+	if st.ChargeWh < b.floorWh || st.ChargeWh > b.cfg.CapacityWh {
+		return fmt.Errorf("%w: charge %v Wh outside usable band [%v, %v]",
+			ErrBadState, st.ChargeWh, b.floorWh, b.cfg.CapacityWh)
+	}
+	if st.Cycles < 0 {
+		return fmt.Errorf("%w: negative cycles %d", ErrBadState, st.Cycles)
+	}
+	if st.GridChargedWh > st.ChargedWh {
+		return fmt.Errorf("%w: grid-charged %v Wh exceeds total charged %v Wh",
+			ErrBadState, st.GridChargedWh, st.ChargedWh)
+	}
+	b.chargeWh = st.ChargeWh
+	b.cycles = st.Cycles
+	b.atFloor = st.AtFloor
+	b.dischargedWh = st.DischargedWh
+	b.chargedWh = st.ChargedWh
+	b.gridChargedWh = st.GridChargedWh
+	return nil
+}
+
 // Source identifies where charging energy comes from. Only one source may
 // charge the battery at a time (paper §IV-B.1 assumption 3).
 type Source int

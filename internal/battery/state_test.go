@@ -1,0 +1,84 @@
+package battery
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func stateBank(t *testing.T) *Bank {
+	t.Helper()
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStateRestoreRoundTrip: State → Restore into a fresh bank with the
+// same Config reproduces the mutable state bit-for-bit.
+func TestStateRestoreRoundTrip(t *testing.T) {
+	a := stateBank(t)
+	// Drive the bank through real transitions so the snapshot is not the
+	// initial state.
+	a.Discharge(200, 30*time.Minute)
+	a.Charge(150, 15*time.Minute, SourceGrid)
+	a.Charge(90, 15*time.Minute, SourceRenewable)
+	st := a.State()
+
+	b := stateBank(t)
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.State(); got != st {
+		t.Errorf("round trip: got %+v, want %+v", got, st)
+	}
+	if math.Float64bits(b.ChargeWh()) != math.Float64bits(a.ChargeWh()) {
+		t.Errorf("charge bits differ: %x vs %x",
+			math.Float64bits(b.ChargeWh()), math.Float64bits(a.ChargeWh()))
+	}
+	// The restored bank behaves identically from here on.
+	ga := a.Discharge(100, 15*time.Minute)
+	gb := b.Discharge(100, 15*time.Minute)
+	if math.Float64bits(ga) != math.Float64bits(gb) {
+		t.Errorf("post-restore divergence: %v vs %v", ga, gb)
+	}
+}
+
+// TestRestoreRejections: every invariant violation is refused and
+// leaves the bank untouched.
+func TestRestoreRejections(t *testing.T) {
+	base := stateBank(t).State()
+	cap := DefaultConfig().CapacityWh
+	cases := []struct {
+		name   string
+		mutate func(*State)
+	}{
+		{"nan charge", func(s *State) { s.ChargeWh = math.NaN() }},
+		{"inf charged", func(s *State) { s.ChargedWh = math.Inf(1) }},
+		{"negative discharged", func(s *State) { s.DischargedWh = -1 }},
+		{"charge above capacity", func(s *State) { s.ChargeWh = cap * 2 }},
+		{"charge below floor", func(s *State) { s.ChargeWh = 0 }},
+		{"negative cycles", func(s *State) { s.Cycles = -1 }},
+		{"grid exceeds total charged", func(s *State) {
+			s.ChargedWh = 10
+			s.GridChargedWh = 20
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := stateBank(t)
+			before := b.State()
+			st := base
+			tc.mutate(&st)
+			err := b.Restore(st)
+			if !errors.Is(err, ErrBadState) {
+				t.Fatalf("err = %v, want ErrBadState", err)
+			}
+			if after := b.State(); after != before {
+				t.Errorf("failed Restore mutated the bank: %+v -> %+v", before, after)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"greenhetero/internal/timeseries"
+)
+
+// State is the controller's durable state: the epoch index, the
+// battery-recovery latch, and both predictors' smoother states. The
+// profile database and battery bank are shared objects persisted by
+// their own owners (profiledb snapshot, battery.State), so they do not
+// appear here.
+type State struct {
+	Epoch      int             `json:"epoch"`
+	Recovering bool            `json:"recovering"`
+	Renewable  json.RawMessage `json:"renewable"`
+	Demand     json.RawMessage `json:"demand"`
+}
+
+// ExportState snapshots the controller's mutable state. It fails if a
+// custom predictor does not implement timeseries.Snapshotter.
+func (c *Controller) ExportState() (State, error) {
+	rs, err := snapshotPredictor(c.renewable, "renewable")
+	if err != nil {
+		return State{}, err
+	}
+	ds, err := snapshotPredictor(c.demand, "demand")
+	if err != nil {
+		return State{}, err
+	}
+	return State{
+		Epoch:      c.epochIdx,
+		Recovering: c.recovering,
+		Renewable:  rs,
+		Demand:     ds,
+	}, nil
+}
+
+// RestoreState applies a snapshot taken by ExportState on a controller
+// built from the same Config. Predictors validate their own parameter
+// fingerprints; on error the caller must discard the controller, since
+// one predictor may have been restored before the other failed.
+func (c *Controller) RestoreState(st State) error {
+	if st.Epoch < 0 {
+		return fmt.Errorf("core: restore: negative epoch %d", st.Epoch)
+	}
+	if err := restorePredictor(c.renewable, st.Renewable, "renewable"); err != nil {
+		return err
+	}
+	if err := restorePredictor(c.demand, st.Demand, "demand"); err != nil {
+		return err
+	}
+	c.epochIdx = st.Epoch
+	c.recovering = st.Recovering
+	return nil
+}
+
+func snapshotPredictor(p timeseries.Predictor, label string) (json.RawMessage, error) {
+	s, ok := p.(timeseries.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("core: %s predictor %T does not support state snapshots", label, p)
+	}
+	b, err := s.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot %s predictor: %w", label, err)
+	}
+	return b, nil
+}
+
+func restorePredictor(p timeseries.Predictor, data json.RawMessage, label string) error {
+	s, ok := p.(timeseries.Snapshotter)
+	if !ok {
+		return fmt.Errorf("core: %s predictor %T does not support state snapshots", label, p)
+	}
+	if err := s.Restore(data); err != nil {
+		return fmt.Errorf("core: restore %s predictor: %w", label, err)
+	}
+	return nil
+}

@@ -15,12 +15,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 	"time"
 
 	"greenhetero/internal/sim"
 	"greenhetero/internal/telemetry"
+	"greenhetero/internal/wal"
 )
 
 // HealthSource exposes per-agent Monitor health for /status — typically
@@ -42,6 +44,20 @@ type Config struct {
 	// Health optionally surfaces the Monitor's per-agent health (breaker
 	// state, stale flags) in /status.
 	Health HealthSource
+	// StateDir, when set, makes the daemon's state durable: each epoch is
+	// journaled to a write-ahead log under this directory before it takes
+	// effect, and a daemon restarted over the same directory resumes the
+	// session exactly where it stopped (see state.go).
+	StateDir string
+	// SnapshotEvery is the checkpoint cadence in committed epochs
+	// (default 32). A snapshot compacts the WAL, bounding both disk use
+	// and recovery replay time.
+	SnapshotEvery int
+	// FS overrides the durable-state filesystem; used by tests to inject
+	// wal.CrashFS. Takes precedence over StateDir.
+	FS wal.FS
+	// Logf receives recovery and durability warnings (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // ErrBadConfig is returned by New for invalid configurations.
@@ -53,6 +69,14 @@ type Daemon struct {
 	tick   time.Duration
 	limit  int
 	health HealthSource
+
+	// Durable-state plane, immutable after New. store is nil when no
+	// StateDir/FS is configured; recovered reports whether New resumed
+	// from existing durable state.
+	store     *wal.Store
+	snapEvery int
+	recovered bool
+	logf      func(format string, args ...any)
 
 	// mu guards the session as well as the daemon's own fields: the
 	// session's internals (battery bank, predictors, epoch counter) have
@@ -72,12 +96,29 @@ type Daemon struct {
 	started bool
 	// ghlint:guardedby mu
 	stopping bool
+	// walErr latches the first storage failure. The write-ahead contract
+	// is journal-then-apply; once journaling fails, stepping further would
+	// advance state that can never be recovered, so the scheduler halts
+	// (the HTTP API stays up and reports the error).
+	// ghlint:guardedby mu
+	walErr error
+	// ghlint:guardedby mu
+	sinceSnap int
+	// checkpointEpoch is the epoch covered by the latest snapshot
+	// (-1 until one exists).
+	// ghlint:guardedby mu
+	checkpointEpoch int
+	// ghlint:guardedby mu
+	storeClosed bool
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// New validates cfg and builds a stopped daemon.
+// New validates cfg and builds a stopped daemon. With durable state
+// configured it opens (or creates) the WAL, resumes the session from any
+// existing snapshot + log tail, and writes a fresh checkpoint so the
+// resumed position is immediately durable.
 func New(cfg Config) (*Daemon, error) {
 	if cfg.Session == nil {
 		return nil, fmt.Errorf("%w: nil session", ErrBadConfig)
@@ -91,14 +132,77 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.HistoryLimit < 1 {
 		return nil, fmt.Errorf("%w: history limit %d", ErrBadConfig, cfg.HistoryLimit)
 	}
-	return &Daemon{
-		session: cfg.Session,
-		tick:    cfg.Tick,
-		limit:   cfg.HistoryLimit,
-		health:  cfg.Health,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-	}, nil
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("%w: snapshot cadence %d", ErrBadConfig, cfg.SnapshotEvery)
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 32
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+
+	fsys := cfg.FS
+	if fsys == nil && cfg.StateDir != "" {
+		dirFS, err := wal.NewDirFS(cfg.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: open state dir: %w", err)
+		}
+		fsys = dirFS
+	}
+
+	var (
+		store     *wal.Store
+		history   []sim.EpochResult
+		recovered bool
+	)
+	if fsys != nil {
+		var rec wal.Recovered
+		var err error
+		store, rec, err = wal.Open(fsys, wal.Options{Logf: logf})
+		if err != nil {
+			return nil, fmt.Errorf("daemon: open wal: %w", err)
+		}
+		if rec.Snapshot != nil || len(rec.Records) > 0 {
+			history, err = recoverState(cfg.Session, cfg.HistoryLimit, cfg.Health, rec, logf)
+			if err != nil {
+				_ = store.Close()
+				return nil, err
+			}
+			recovered = true
+			logf("daemon: recovered durable state: session at epoch %d (snapshot epoch %d, %d log records replayed)",
+				cfg.Session.Epoch(), rec.SnapshotEpoch, len(rec.Records))
+		}
+	}
+
+	d := &Daemon{
+		session:         cfg.Session,
+		tick:            cfg.Tick,
+		limit:           cfg.HistoryLimit,
+		health:          cfg.Health,
+		store:           store,
+		snapEvery:       cfg.SnapshotEvery,
+		recovered:       recovered,
+		logf:            logf,
+		history:         history,
+		checkpointEpoch: -1,
+		stop:            make(chan struct{}),
+		done:            make(chan struct{}),
+	}
+	if store != nil {
+		// Checkpoint immediately: a fresh dir gets its identity snapshot
+		// (so a later mismatched scenario fails fast), and a recovered one
+		// compacts the replayed tail away.
+		d.mu.Lock()
+		err := d.checkpointLocked()
+		d.mu.Unlock()
+		if err != nil {
+			_ = store.Close()
+			return nil, fmt.Errorf("daemon: initial checkpoint: %w", err)
+		}
+	}
+	return d, nil
 }
 
 // Start launches the scheduler loop. It may be called once; a stopped
@@ -120,7 +224,8 @@ func (d *Daemon) Start() error {
 // Stop signals the loop and waits for it to exit. Safe to call in any
 // state: before Start it simply marks the daemon stopped, and repeated
 // calls are no-ops, so `defer d.Stop()` composes with error paths that
-// never reach Start.
+// never reach Start. With durable state configured, Stop writes a final
+// checkpoint (unless the store already failed) and closes the WAL.
 func (d *Daemon) Stop() {
 	d.mu.Lock()
 	wasStarted := d.started
@@ -132,6 +237,20 @@ func (d *Daemon) Stop() {
 	if wasStarted {
 		<-d.done
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.store == nil || d.storeClosed {
+		return
+	}
+	d.storeClosed = true
+	if d.walErr == nil {
+		if err := d.checkpointLocked(); err != nil {
+			d.logf("daemon: final checkpoint failed: %v", err)
+		}
+	}
+	if err := d.store.Close(); err != nil {
+		d.logf("daemon: closing wal: %v", err)
+	}
 }
 
 func (d *Daemon) loop() {
@@ -141,28 +260,129 @@ func (d *Daemon) loop() {
 	for {
 		select {
 		case <-ticker.C:
-			// Step mutates the session in place, so it runs under the
-			// write lock; every handler read of session state holds the
-			// read lock and therefore observes a quiesced session.
-			d.mu.Lock()
-			er, err := d.session.Step()
-			if err != nil {
-				// Record and keep ticking: a transient failure (e.g. a
-				// dead sensor during training) must not kill the rack
-				// controller.
-				d.lastErr = err
-			} else {
-				d.lastErr = nil
-				d.history = append(d.history, er)
-				if over := len(d.history) - d.limit; over > 0 {
-					d.history = append(d.history[:0:0], d.history[over:]...)
-				}
+			if err := d.StepEpoch(); err != nil {
+				// Storage failure: the write-ahead contract is broken, so
+				// the scheduler halts rather than advance unrecoverable
+				// state. The HTTP API stays up and reports the error.
+				d.logf("daemon: scheduler halted: %v", err)
+				return
 			}
-			d.mu.Unlock()
 		case <-d.stop:
 			return
 		}
 	}
+}
+
+// StepEpoch executes one scheduling epoch under the write-ahead
+// discipline. It is the loop's body, exported so tests (and the crash
+// harness) can drive epochs without wall-clock ticks. The returned error
+// is nil for session-level epoch failures (those are recorded in
+// /status and the daemon keeps ticking) and non-nil only for durable-
+// storage failures, which halt the scheduler.
+func (d *Daemon) StepEpoch() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.walErr != nil {
+		return d.walErr
+	}
+	return d.stepLocked()
+}
+
+// stepLocked journals, steps, commits, and maybe checkpoints.
+// ghlint:holds d.mu
+func (d *Daemon) stepLocked() error {
+	// Journal the intent before the session mutates: after a crash the
+	// log always shows which epoch was in flight.
+	if d.store != nil {
+		ib, err := json.Marshal(intentRecord{Epoch: d.session.Epoch()})
+		if err != nil {
+			return d.failStoreLocked(fmt.Errorf("daemon: encode intent: %w", err))
+		}
+		if err := d.store.Append(recTypeIntent, ib); err != nil {
+			return d.failStoreLocked(fmt.Errorf("daemon: journal intent: %w", err))
+		}
+	}
+	// Step mutates the session in place, so it runs under the write lock;
+	// every handler read of session state holds the read lock and
+	// therefore observes a quiesced session.
+	er, err := d.session.Step()
+	if err != nil {
+		// Record and keep ticking: a transient failure (e.g. a dead
+		// sensor during training) must not kill the rack controller.
+		// Deterministic replay reproduces the failure, so the uncommitted
+		// intent needs no undo record.
+		d.lastErr = err
+		return nil
+	}
+	d.lastErr = nil
+	d.history = appendTrimmed(d.history, er, d.limit)
+	if d.store != nil {
+		eb, err := json.Marshal(epochRecord{Epoch: er.Epoch, Result: er})
+		if err != nil {
+			return d.failStoreLocked(fmt.Errorf("daemon: encode epoch record: %w", err))
+		}
+		if err := d.store.Append(recTypeEpoch, eb); err != nil {
+			return d.failStoreLocked(fmt.Errorf("daemon: journal epoch: %w", err))
+		}
+		d.sinceSnap++
+		if d.sinceSnap >= d.snapEvery {
+			if err := d.checkpointLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkpointLocked writes an atomic full-state snapshot and compacts
+// the WAL behind it.
+// ghlint:holds d.mu
+func (d *Daemon) checkpointLocked() error {
+	st, err := d.session.ExportState()
+	if err != nil {
+		return d.failStoreLocked(fmt.Errorf("daemon: export state: %w", err))
+	}
+	ps := persistedState{Schema: stateSchema, Session: st, History: d.history}
+	if d.health != nil {
+		ps.Agents = d.health.Health()
+	}
+	b, err := json.Marshal(ps)
+	if err != nil {
+		return d.failStoreLocked(fmt.Errorf("daemon: encode snapshot: %w", err))
+	}
+	if err := d.store.SaveSnapshot(st.Epoch, b); err != nil {
+		return d.failStoreLocked(fmt.Errorf("daemon: save snapshot: %w", err))
+	}
+	d.checkpointEpoch = st.Epoch
+	d.sinceSnap = 0
+	return nil
+}
+
+// failStoreLocked latches the first storage failure and returns it.
+// ghlint:holds d.mu
+func (d *Daemon) failStoreLocked(err error) error {
+	if d.walErr == nil {
+		d.walErr = err
+	}
+	return d.walErr
+}
+
+// Recovered reports whether New resumed from existing durable state.
+func (d *Daemon) Recovered() bool { return d.recovered }
+
+// LastCheckpointEpoch returns the epoch covered by the latest snapshot,
+// or -1 if none exists (including when durable state is disabled).
+func (d *Daemon) LastCheckpointEpoch() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.checkpointEpoch
+}
+
+// History returns a copy of the retained epoch results.
+func (d *Daemon) History() []sim.EpochResult {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]sim.EpochResult(nil), d.history...)
 }
 
 // status is the /status document.
@@ -171,14 +391,21 @@ type status struct {
 	Workload string `json:"workload"`
 	// Epochs counts retained history entries; SessionEpoch is the
 	// session's own live epoch counter.
-	Epochs       int                     `json:"epochs"`
-	SessionEpoch int                     `json:"sessionEpoch"`
-	BatterySoC   float64                 `json:"batterySoC"`
-	Cycles       int                     `json:"batteryCycles"`
-	DBEntries    int                     `json:"dbEntries"`
-	Agents       []telemetry.AgentHealth `json:"agents,omitempty"`
-	LastError    string                  `json:"lastError,omitempty"`
-	Last         *sim.EpochResult        `json:"last,omitempty"`
+	Epochs       int     `json:"epochs"`
+	SessionEpoch int     `json:"sessionEpoch"`
+	BatterySoC   float64 `json:"batterySoC"`
+	Cycles       int     `json:"batteryCycles"`
+	DBEntries    int     `json:"dbEntries"`
+	// Durable-state plane: whether this daemon resumed from an existing
+	// state dir, the epoch covered by the latest checkpoint (-1 when
+	// durable state is disabled or no checkpoint exists), and the live
+	// WAL segment count.
+	Recovered           bool                    `json:"recovered"`
+	LastCheckpointEpoch int                     `json:"lastCheckpointEpoch"`
+	WALSegments         int                     `json:"walSegments"`
+	Agents              []telemetry.AgentHealth `json:"agents,omitempty"`
+	LastError           string                  `json:"lastError,omitempty"`
+	Last                *sim.EpochResult        `json:"last,omitempty"`
 }
 
 // Handler returns the HTTP API.
@@ -193,16 +420,24 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		d.mu.RLock()
 		st := status{
-			Policy:       d.session.Policy(),
-			Workload:     d.session.WorkloadLabel(),
-			Epochs:       len(d.history),
-			SessionEpoch: d.session.Epoch(),
-			BatterySoC:   d.session.Bank().SoC(),
-			Cycles:       d.session.Bank().Cycles(),
-			DBEntries:    d.session.DB().Len(),
+			Policy:              d.session.Policy(),
+			Workload:            d.session.WorkloadLabel(),
+			Epochs:              len(d.history),
+			SessionEpoch:        d.session.Epoch(),
+			BatterySoC:          d.session.Bank().SoC(),
+			Cycles:              d.session.Bank().Cycles(),
+			DBEntries:           d.session.DB().Len(),
+			Recovered:           d.recovered,
+			LastCheckpointEpoch: d.checkpointEpoch,
+		}
+		if d.store != nil {
+			st.WALSegments = d.store.Segments()
 		}
 		if d.lastErr != nil {
 			st.LastError = d.lastErr.Error()
+		}
+		if d.walErr != nil {
+			st.LastError = d.walErr.Error()
 		}
 		if n := len(d.history); n > 0 {
 			last := d.history[n-1]

@@ -17,6 +17,11 @@ import (
 
 func testSession(t *testing.T) *sim.Session {
 	t.Helper()
+	return testSessionSeed(t, 7)
+}
+
+func testSessionSeed(t *testing.T, seed int64) *sim.Session {
+	t.Helper()
 	a, err := server.Lookup(server.XeonE52620)
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +50,7 @@ func testSession(t *testing.T) *sim.Session {
 		Solar:       tr,
 		Epochs:      96,
 		GridBudgetW: 1000,
-		Seed:        7,
+		Seed:        seed,
 	})
 	if err != nil {
 		t.Fatal(err)

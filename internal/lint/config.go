@@ -35,6 +35,10 @@ var deterministicCore = map[string]bool{
 	"server":     true,
 	"enforcer":   true,
 	"timeseries": true,
+	// wal: crash recovery must replay identically on every boot, and the
+	// CrashFS's torn-write/survival choices are DeriveSeed-keyed — the
+	// package has no business reading clocks or global randomness.
+	"wal": true,
 }
 
 // wallClockAllowed lists the packages that legitimately face the wall

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 
@@ -296,21 +297,103 @@ func (db *DB) keysLocked() []Key {
 	return keys
 }
 
-// Load reads a database written by Save.
-func Load(r io.Reader) (*DB, error) {
+// validate checks a decoded snapshot before any of it is installed:
+// positive maxSamples, unique non-empty keys, and finite power bounds,
+// sample coordinates, and curve coefficients. Snapshots come from Save
+// but also from hand-edited files and crash recovery, so nothing is
+// trusted.
+func (sn *snapshot) validate() error {
+	if sn.MaxSamples <= 0 {
+		return fmt.Errorf("%w: non-positive maxSamples %d", ErrBadEntry, sn.MaxSamples)
+	}
+	seen := make(map[Key]bool, len(sn.Entries))
+	for i := range sn.Entries {
+		e := &sn.Entries[i]
+		if e.Key.ServerID == "" || e.Key.WorkloadID == "" {
+			return fmt.Errorf("%w: entry %d has empty key", ErrBadEntry, i)
+		}
+		if seen[e.Key] {
+			return fmt.Errorf("%w: duplicate key %s", ErrBadEntry, e.Key)
+		}
+		seen[e.Key] = true
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{{"idleW", e.IdleW}, {"peakEffW", e.PeakEffW}} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+				return fmt.Errorf("%w: %s: non-finite %s", ErrBadEntry, e.Key, f.name)
+			}
+		}
+		if e.IdleW <= 0 || e.PeakEffW <= e.IdleW {
+			return fmt.Errorf("%w: %s: power range idle %v peakEff %v", ErrBadEntry, e.Key, e.IdleW, e.PeakEffW)
+		}
+		if e.Refits < 0 {
+			return fmt.Errorf("%w: %s: negative refits %d", ErrBadEntry, e.Key, e.Refits)
+		}
+		for j, s := range e.Samples {
+			if math.IsNaN(s.X) || math.IsInf(s.X, 0) || math.IsNaN(s.Y) || math.IsInf(s.Y, 0) {
+				return fmt.Errorf("%w: %s: non-finite sample %d (%v, %v)", ErrBadEntry, e.Key, j, s.X, s.Y)
+			}
+		}
+		for j, c := range e.Curve.Coeffs {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("%w: %s: non-finite curve coefficient %d (%v)", ErrBadEntry, e.Key, j, c)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeSnapshot reads and validates a snapshot from r.
+func decodeSnapshot(r io.Reader) (snapshot, error) {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("profiledb: load: %w", err)
+		return snapshot{}, fmt.Errorf("profiledb: load: %w", err)
+	}
+	if err := snap.validate(); err != nil {
+		return snapshot{}, err
+	}
+	return snap, nil
+}
+
+// Load reads a database written by Save, rejecting duplicate keys,
+// non-positive maxSamples, and non-finite coefficients or samples.
+func Load(r io.Reader) (*DB, error) {
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
 	}
 	db := New(WithMaxSamples(snap.MaxSamples))
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for i := range snap.Entries {
 		e := snap.Entries[i]
-		if e.Key.ServerID == "" || e.Key.WorkloadID == "" {
-			return nil, fmt.Errorf("%w: entry %d has empty key", ErrBadEntry, i)
-		}
 		db.entries[e.Key] = &e
 	}
 	return db, nil
+}
+
+// RestoreFrom replaces the database's entries from a snapshot written
+// by Save — crash recovery into a DB already shared with a controller.
+// The snapshot is fully validated first, so on error the DB is
+// untouched. The snapshot's maxSamples must equal the DB's: that field
+// is immutable by design (trim reads it unlocked), and a mismatch means
+// the snapshot belongs to a differently-configured deployment.
+func (db *DB) RestoreFrom(r io.Reader) error {
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return err
+	}
+	if snap.MaxSamples != db.maxSamples {
+		return fmt.Errorf("%w: snapshot maxSamples %d, database %d", ErrBadEntry, snap.MaxSamples, db.maxSamples)
+	}
+	entries := make(map[Key]*Entry, len(snap.Entries))
+	for i := range snap.Entries {
+		e := snap.Entries[i]
+		entries[e.Key] = &e
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries = entries
+	return nil
 }

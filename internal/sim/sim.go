@@ -355,7 +355,11 @@ func measureAt(spec server.Spec, w workload.Workload, pw, intensity, noiseFactor
 // it on a wall-clock ticker. Not safe for concurrent use — callers
 // serialize access (the daemon holds a mutex).
 type Session struct {
-	cfg          Config
+	cfg Config
+	// src is rng's underlying source; its draw counter is what lets
+	// ExportState pin — and RestoreState reproduce — the exact RNG
+	// stream position.
+	src          *countingSource
 	rng          *rand.Rand
 	bank         *battery.Bank
 	pb           *prober
@@ -373,7 +377,8 @@ func NewSession(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
+	src := newCountingSource(c.Seed)
+	rng := rand.New(src)
 	bank, err := battery.New(c.Battery)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -383,6 +388,7 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	s := &Session{
 		cfg:    c,
+		src:    src,
 		rng:    rng,
 		bank:   bank,
 		groups: c.Rack.Groups(),

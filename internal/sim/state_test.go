@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// marshalResults renders epoch results for byte-exact comparison.
+func marshalResults(t *testing.T, rs []EpochResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestExportRestoreBitIdentical is the state layer's core claim: export
+// mid-run, restore into a session built from the same Config, and the
+// restored session's remaining epochs are byte-identical to the
+// original's — RNG stream, battery arithmetic, database refits and all.
+func TestExportRestoreBitIdentical(t *testing.T) {
+	const splitAt, total = 7, 20
+
+	a, err := NewSession(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < splitAt; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot must survive the same serialization the daemon applies.
+	wire, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tail []EpochResult
+	for i := splitAt; i < total; i++ {
+		er, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, er)
+	}
+
+	b, err := NewSession(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded State
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreState(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch() != splitAt {
+		t.Fatalf("restored epoch = %d, want %d", b.Epoch(), splitAt)
+	}
+	var tailB []EpochResult
+	for i := splitAt; i < total; i++ {
+		er, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tailB = append(tailB, er)
+	}
+	if !bytes.Equal(marshalResults(t, tail), marshalResults(t, tailB)) {
+		t.Error("restored session's epochs diverge from the original's")
+	}
+
+	// The databases converge too.
+	var dbA, dbB bytes.Buffer
+	if err := a.DB().Save(&dbA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DB().Save(&dbB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dbA.Bytes(), dbB.Bytes()) {
+		t.Error("restored session's database diverges from the original's")
+	}
+}
+
+// TestRestoreStateRejections: fingerprint and validity checks.
+func TestRestoreStateRejections(t *testing.T) {
+	a, err := NewSession(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Step(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func(t *testing.T) *Session {
+		s, err := NewSession(baseConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	t.Run("nil state", func(t *testing.T) {
+		if err := fresh(t).RestoreState(nil); !errors.Is(err, ErrBadState) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("different seed", func(t *testing.T) {
+		cfg := baseConfig(t)
+		cfg.Seed = 8
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RestoreState(good); !errors.Is(err, ErrBadState) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("negative epoch", func(t *testing.T) {
+		st := *good
+		st.Epoch = -1
+		if err := fresh(t).RestoreState(&st); !errors.Is(err, ErrBadState) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("non-finite prev demand", func(t *testing.T) {
+		st := *good
+		st.PrevDemandW = -5
+		if err := fresh(t).RestoreState(&st); !errors.Is(err, ErrBadState) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("implausible draw count", func(t *testing.T) {
+		st := *good
+		st.RNGDraws = 1 << 62
+		if err := fresh(t).RestoreState(&st); !errors.Is(err, ErrBadState) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}

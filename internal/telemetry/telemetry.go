@@ -467,6 +467,55 @@ func (c *Collector) Health() []AgentHealth {
 	return out
 }
 
+// RestoreHealth re-seeds per-agent health from a persisted snapshot
+// (daemon crash recovery): breaker position, failure counters, and the
+// staleness flag are matched to agents by address, in occurrence order
+// for duplicate addresses. Entries for unknown addresses are skipped —
+// a topology change between runs must not block recovery — and agents
+// without an entry keep their zero (closed) state. The open-breaker
+// cooldown clock restarts at zero: after a restart an open breaker
+// waits one full cooldown before probing, which errs toward caution
+// rather than inheriting a stale countdown. Last-known-good readings
+// are not persisted, so a restored agent serves no stale reading until
+// it has a fresh one. Validation happens before anything is applied.
+func (c *Collector) RestoreHealth(snap []AgentHealth) error {
+	for i, h := range snap {
+		if h.State < BreakerClosed || h.State > BreakerHalfOpen {
+			return fmt.Errorf("telemetry: restore health: entry %d (%s): unknown breaker state %d", i, h.Addr, h.State)
+		}
+		if h.ConsecutiveFailures < 0 {
+			return fmt.Errorf("telemetry: restore health: entry %d (%s): negative consecutive failures %d", i, h.Addr, h.ConsecutiveFailures)
+		}
+	}
+	// Match by address in occurrence order (duplicate addresses pair
+	// first-to-first, second-to-second).
+	byAddr := make(map[string][]*agentState, len(c.agents))
+	for _, a := range c.agents {
+		byAddr[a.addr] = append(byAddr[a.addr], a)
+	}
+	for _, h := range snap {
+		q := byAddr[h.Addr]
+		if len(q) == 0 {
+			continue
+		}
+		a := q[0]
+		byAddr[h.Addr] = q[1:]
+		a.mu.Lock()
+		a.state = h.State
+		a.fails = h.ConsecutiveFailures
+		a.coolEpoch = 0
+		a.succTotal = h.Successes
+		a.failTotal = h.Failures
+		a.staleLast = h.Stale
+		a.lastErr = nil
+		if h.LastError != "" {
+			a.lastErr = errors.New(h.LastError)
+		}
+		a.mu.Unlock()
+	}
+	return nil
+}
+
 // Result pairs an agent address with its reading or error.
 type Result struct {
 	Addr    string

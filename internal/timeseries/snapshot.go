@@ -1,0 +1,152 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Snapshotter is the optional persistence face of a Predictor: the
+// controller's durable-state plane snapshots predictors that implement
+// it and restores them bit-exactly after a crash. Holt and HoltWinters
+// both implement it; a custom Predictor that does not cannot be used
+// with a state-dir-enabled daemon.
+type Snapshotter interface {
+	// Snapshot serializes the predictor's mutable state.
+	Snapshot() ([]byte, error)
+	// Restore applies a snapshot taken from a predictor constructed with
+	// the same parameters. It validates before mutating: on error the
+	// predictor is unchanged.
+	Restore(data []byte) error
+}
+
+var (
+	_ Snapshotter = (*Holt)(nil)
+	_ Snapshotter = (*HoltWinters)(nil)
+)
+
+// ErrBadSnapshot is returned by Restore for snapshots that are corrupt,
+// non-finite, or taken from a predictor with different parameters.
+var ErrBadSnapshot = errors.New("timeseries: bad snapshot")
+
+// sameBits reports exact bit identity of two floats — the right notion
+// for a parameter fingerprint, where any drift means the snapshot came
+// from a differently-configured predictor.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func checkFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: non-finite %s", ErrBadSnapshot, name)
+	}
+	return nil
+}
+
+// holtState is Holt's wire form. Alpha/beta ride along as a fingerprint
+// so a snapshot cannot silently restore into a predictor trained with
+// different smoothing parameters.
+type holtState struct {
+	Alpha  float64 `json:"alpha"`
+	Beta   float64 `json:"beta"`
+	Level  float64 `json:"level"`
+	Trend  float64 `json:"trend"`
+	Primed int     `json:"primed"`
+}
+
+// Snapshot implements Snapshotter.
+func (h *Holt) Snapshot() ([]byte, error) {
+	return json.Marshal(holtState{
+		Alpha:  h.alpha,
+		Beta:   h.beta,
+		Level:  h.level,
+		Trend:  h.trend,
+		Primed: h.primed,
+	})
+}
+
+// Restore implements Snapshotter.
+func (h *Holt) Restore(data []byte) error {
+	var st holtState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if !sameBits(st.Alpha, h.alpha) || !sameBits(st.Beta, h.beta) {
+		return fmt.Errorf("%w: parameters (α=%v, β=%v) do not match predictor (α=%v, β=%v)",
+			ErrBadSnapshot, st.Alpha, st.Beta, h.alpha, h.beta)
+	}
+	if err := checkFinite("level", st.Level); err != nil {
+		return err
+	}
+	if err := checkFinite("trend", st.Trend); err != nil {
+		return err
+	}
+	if st.Primed < 0 {
+		return fmt.Errorf("%w: negative primed %d", ErrBadSnapshot, st.Primed)
+	}
+	h.level = st.Level
+	h.trend = st.Trend
+	h.primed = st.Primed
+	return nil
+}
+
+// holtWintersState is HoltWinters' wire form.
+type holtWintersState struct {
+	Alpha    float64   `json:"alpha"`
+	Beta     float64   `json:"beta"`
+	Gamma    float64   `json:"gamma"`
+	Period   int       `json:"period"`
+	Level    float64   `json:"level"`
+	Trend    float64   `json:"trend"`
+	Seasonal []float64 `json:"seasonal"`
+	Primed   int       `json:"primed"`
+}
+
+// Snapshot implements Snapshotter.
+func (h *HoltWinters) Snapshot() ([]byte, error) {
+	return json.Marshal(holtWintersState{
+		Alpha:    h.alpha,
+		Beta:     h.beta,
+		Gamma:    h.gamma,
+		Period:   h.period,
+		Level:    h.level,
+		Trend:    h.trend,
+		Seasonal: append([]float64(nil), h.seasonal...),
+		Primed:   h.primed,
+	})
+}
+
+// Restore implements Snapshotter.
+func (h *HoltWinters) Restore(data []byte) error {
+	var st holtWintersState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if !sameBits(st.Alpha, h.alpha) || !sameBits(st.Beta, h.beta) || !sameBits(st.Gamma, h.gamma) || st.Period != h.period {
+		return fmt.Errorf("%w: parameters (α=%v, β=%v, γ=%v, m=%d) do not match predictor (α=%v, β=%v, γ=%v, m=%d)",
+			ErrBadSnapshot, st.Alpha, st.Beta, st.Gamma, st.Period, h.alpha, h.beta, h.gamma, h.period)
+	}
+	if len(st.Seasonal) != h.period {
+		return fmt.Errorf("%w: %d seasonal indices for period %d", ErrBadSnapshot, len(st.Seasonal), h.period)
+	}
+	if err := checkFinite("level", st.Level); err != nil {
+		return err
+	}
+	if err := checkFinite("trend", st.Trend); err != nil {
+		return err
+	}
+	for i, v := range st.Seasonal {
+		if err := checkFinite(fmt.Sprintf("seasonal[%d]", i), v); err != nil {
+			return err
+		}
+	}
+	if st.Primed < 0 {
+		return fmt.Errorf("%w: negative primed %d", ErrBadSnapshot, st.Primed)
+	}
+	h.level = st.Level
+	h.trend = st.Trend
+	h.seasonal = append([]float64(nil), st.Seasonal...)
+	h.primed = st.Primed
+	return nil
+}

@@ -1,0 +1,307 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"greenhetero/internal/runner"
+)
+
+// ErrCrashed is returned by every CrashFS operation once the scheduled
+// crashpoint has fired: the "machine" is down until Recover.
+var ErrCrashed = errors.New("wal: injected crash")
+
+// inode is one file's in-memory content. data is the applied (page
+// cache) content; data[:synced] is the prefix known durable via Sync.
+type inode struct {
+	data   []byte
+	synced int
+}
+
+// CrashFS is a deterministic in-memory FS modelling POSIX crash
+// semantics for the equivalence suite. It maintains two namespaces: the
+// applied one (what a running process observes) and the durable one
+// (directory entries made durable by SyncDir); file content is durable
+// only up to the last file Sync. Every mutating operation — Create,
+// Write, Sync, Rename, Remove, SyncDir — is a numbered crashpoint.
+// SetCrashAt(k) makes the k-th operation fail mid-flight: a write tears
+// at a DeriveSeed-chosen prefix, everything else simply does not
+// happen, and all subsequent operations return ErrCrashed until Recover
+// simulates the reboot. On Recover, unsynced file content survives
+// partially — a DeriveSeed-chosen amount beyond the synced prefix —
+// matching real page-cache behaviour where un-fsynced data may or may
+// not reach the platter. Everything is derived from the seed, so a
+// given (seed, crashpoint) pair always produces the identical disk
+// image.
+type CrashFS struct {
+	seed int64
+
+	mu sync.Mutex
+	// ghlint:guardedby mu
+	names map[string]*inode
+	// ghlint:guardedby mu
+	durable map[string]*inode
+	// ghlint:guardedby mu
+	ops int
+	// ghlint:guardedby mu
+	crashAt int
+	// ghlint:guardedby mu
+	crashed bool
+	// ghlint:guardedby mu
+	recoveries int
+}
+
+// NewCrashFS builds an empty crash-injection FS. The seed drives torn-
+// write lengths and unsynced-data survival at recovery.
+func NewCrashFS(seed int64) *CrashFS {
+	return &CrashFS{
+		seed:    seed,
+		names:   make(map[string]*inode),
+		durable: make(map[string]*inode),
+	}
+}
+
+// SetCrashAt arms the k-th (1-based) mutating operation to crash.
+// k <= 0 disarms.
+func (fs *CrashFS) SetCrashAt(k int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAt = k
+}
+
+// Ops reports how many mutating operations have run — the number of
+// distinct crashpoints a workload exposes.
+func (fs *CrashFS) Ops() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether the armed crashpoint has fired.
+func (fs *CrashFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// op consumes one crashpoint slot and reports whether the scheduled
+// crash fires on this operation.
+//
+// ghlint:holds fs.mu
+func (fs *CrashFS) op() bool {
+	fs.ops++
+	if fs.crashAt > 0 && fs.ops == fs.crashAt {
+		fs.crashed = true
+		return true
+	}
+	return false
+}
+
+// Recover simulates the reboot after a crash: the applied namespace is
+// rebuilt from the durable one, each file keeping its synced prefix
+// plus a DeriveSeed-chosen amount of the unsynced suffix (un-fsynced
+// page-cache data that happened to reach the disk). The crash is
+// disarmed and the FS serves operations again.
+func (fs *CrashFS) Recover() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.recoveries++
+	next := make(map[string]*inode, len(fs.durable))
+	for name, ino := range fs.durable {
+		keep := ino.synced
+		if extra := len(ino.data) - ino.synced; extra > 0 {
+			key := fmt.Sprintf("survive/%d/%d/%s", fs.recoveries, fs.ops, name)
+			keep += int(uint64(runner.DeriveSeed(fs.seed, key)) % uint64(extra+1))
+		}
+		next[name] = &inode{data: append([]byte(nil), ino.data[:keep]...), synced: keep}
+	}
+	fs.names = next
+	// Post-reboot, what survived IS the durable image.
+	fs.durable = make(map[string]*inode, len(next))
+	for name, ino := range next {
+		fs.durable[name] = ino
+	}
+	fs.crashed = false
+	fs.crashAt = 0
+}
+
+// memFile routes writer calls back through the CrashFS so every access
+// to shared state happens under the FS lock.
+type memFile struct {
+	fs  *CrashFS
+	ino *inode
+}
+
+// Write implements File.
+func (f *memFile) Write(p []byte) (int, error) { return f.fs.write(f.ino, p) }
+
+// Sync implements File.
+func (f *memFile) Sync() error { return f.fs.syncFile(f.ino) }
+
+// Close implements File. Closing is not a durability point and cannot
+// crash.
+func (f *memFile) Close() error { return nil }
+
+func (fs *CrashFS) write(ino *inode, p []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrCrashed
+	}
+	if fs.op() {
+		// Torn write: a deterministic prefix reaches the page cache.
+		keep := int(uint64(runner.DeriveSeed(fs.seed, fmt.Sprintf("torn/%d", fs.ops))) % uint64(len(p)+1))
+		ino.data = append(ino.data, p[:keep]...)
+		return keep, ErrCrashed
+	}
+	ino.data = append(ino.data, p...)
+	return len(p), nil
+}
+
+func (fs *CrashFS) syncFile(ino *inode) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	if fs.op() {
+		return ErrCrashed
+	}
+	ino.synced = len(ino.data)
+	return nil
+}
+
+// Create implements FS.
+func (fs *CrashFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	if fs.op() {
+		return nil, ErrCrashed
+	}
+	ino := &inode{}
+	fs.names[name] = ino
+	return &memFile{fs: fs, ino: ino}, nil
+}
+
+// ReadFile implements FS. Reads observe the applied namespace (the page
+// cache) and do not consume crashpoints.
+func (fs *CrashFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	ino, ok := fs.names[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: read %s: %w", name, os.ErrNotExist)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// Rename implements FS.
+func (fs *CrashFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	if err := checkName(oldname); err != nil {
+		return err
+	}
+	if err := checkName(newname); err != nil {
+		return err
+	}
+	if fs.op() {
+		return ErrCrashed
+	}
+	ino, ok := fs.names[oldname]
+	if !ok {
+		return fmt.Errorf("wal: rename %s: %w", oldname, os.ErrNotExist)
+	}
+	fs.names[newname] = ino
+	delete(fs.names, oldname)
+	return nil
+}
+
+// Remove implements FS.
+func (fs *CrashFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if fs.op() {
+		return ErrCrashed
+	}
+	if _, ok := fs.names[name]; !ok {
+		return fmt.Errorf("wal: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(fs.names, name)
+	return nil
+}
+
+// List implements FS.
+func (fs *CrashFS) List() ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	names := make([]string, 0, len(fs.names))
+	for name := range fs.names {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS: the applied namespace becomes the durable one.
+// File content durability is still governed per-inode by Sync.
+func (fs *CrashFS) SyncDir() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	if fs.op() {
+		return ErrCrashed
+	}
+	fs.durable = make(map[string]*inode, len(fs.names))
+	for name, ino := range fs.names {
+		fs.durable[name] = ino
+	}
+	return nil
+}
+
+// DumpTo writes the applied namespace into dir (created if needed) —
+// the post-mortem artifact a failed equivalence run leaves for CI.
+func (fs *CrashFS) DumpTo(dir string) error {
+	fs.mu.Lock()
+	files := make(map[string][]byte, len(fs.names))
+	for name, ino := range fs.names {
+		files[name] = append([]byte(nil), ino.data...)
+	}
+	fs.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
