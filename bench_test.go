@@ -13,8 +13,14 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"greenhetero/internal/experiments"
+	"greenhetero/internal/policy"
+	"greenhetero/internal/server"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/workload"
 )
 
 // benchExperiment drives one experiment runner under the benchmark loop.
@@ -87,6 +93,84 @@ func BenchmarkAblationDBUpdate(b *testing.B)   { benchExperiment(b, "abl-dbupdat
 func BenchmarkAblationSolverGrid(b *testing.B) { benchExperiment(b, "abl-solver") }
 func BenchmarkAblationPredictor(b *testing.B)  { benchExperiment(b, "abl-predictor") }
 func BenchmarkAblationNoise(b *testing.B)      { benchExperiment(b, "abl-noise") }
+
+// ---- Epoch hot path (ghperf counterpart) ----
+
+// benchEpochs times one controller epoch per iteration on the adaptive
+// GreenHetero policy and reports throughput as an epochs/sec metric —
+// the same figure of merit `cmd/ghperf` writes into BENCH_PR6.json, so
+// `go test -bench=Epoch` and the committed trajectory stay comparable.
+func benchEpochs(b *testing.B, combo ...string) {
+	b.Helper()
+	groups := make([]server.Group, 0, len(combo))
+	for _, id := range combo {
+		spec, err := server.Lookup(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups = append(groups, server.Group{Spec: spec, Count: 5})
+	}
+	rack, err := server.NewRack("bench-epoch", groups...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := solar.Generate(solar.Config{
+		Profile:   solar.High,
+		PeakWatts: 2200,
+		Days:      4,
+		Step:      15 * time.Minute,
+		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.Lookup(workload.SPECjbb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newSession := func() *sim.Session {
+		sess, err := sim.NewSession(sim.Config{
+			Rack:        rack,
+			Workload:    w,
+			Policy:      policy.Solver{Adaptive: true},
+			Solar:       tr,
+			Epochs:      tr.Len(),
+			GridBudgetW: 1000,
+			Seed:        7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sess
+	}
+
+	sess := newSession()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sess.Done() {
+			b.StopTimer()
+			sess = newSession()
+			b.StartTimer()
+		}
+		if _, err := sess.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "epochs/sec")
+}
+
+// BenchmarkEpochComb1 steps the two-group Comb1 rack (the ghperf
+// quick-4d-comb1 scenario).
+func BenchmarkEpochComb1(b *testing.B) {
+	benchEpochs(b, server.XeonE52620, server.CoreI54460)
+}
+
+// BenchmarkEpochComb5 steps the three-group Comb5 rack, the heaviest
+// solver case (full 3-simplex grid).
+func BenchmarkEpochComb5(b *testing.B) {
+	benchEpochs(b, server.XeonE52620, server.XeonE52603, server.CoreI54460)
+}
 
 // BenchmarkFullEvaluation runs every registered experiment once per
 // iteration — the paper's complete evaluation end to end.

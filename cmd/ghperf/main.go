@@ -1,0 +1,269 @@
+// Command ghperf measures the epoch hot path: it runs seeded
+// macro-scenarios (a year of 15-minute epochs on the paper's rack
+// combinations, adaptive GreenHetero policy end to end) and reports
+// epochs/sec, per-epoch latency percentiles, and per-epoch allocation
+// rates. Its JSON output is the repository's benchmark trajectory: each
+// perf PR commits a `BENCH_PR<n>.json` baseline at the repo root, and CI
+// re-runs the quick scenarios with `-gate` against the committed file,
+// failing on an epochs/sec regression beyond the tolerance.
+//
+// Usage:
+//
+//	ghperf [-quick] [-seed N] [-json] [-out file] [-gate baseline.json] [-epochs N]
+//
+// The scenarios are deterministic (seeded noise, fixed traces); only the
+// wall-clock measurements vary between machines. Gate comparisons are
+// therefore matched by scenario name — quick runs compare against the
+// baseline's quick entries — and use a generous relative tolerance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"time"
+
+	"greenhetero/internal/policy"
+	"greenhetero/internal/server"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/workload"
+)
+
+// Schema identifies the JSON layout; bump on incompatible changes.
+const Schema = "greenhetero-bench/v1"
+
+// GateTolerance is the allowed relative epochs/sec regression before
+// -gate fails (the ISSUE 6 policy: >15 % fails).
+const GateTolerance = 0.15
+
+// ScenarioResult is one macro-scenario's measurement.
+type ScenarioResult struct {
+	Name           string  `json:"name"`
+	Epochs         int     `json:"epochs"`
+	EpochsPerSec   float64 `json:"epochsPerSec"`
+	NsPerEpochP50  int64   `json:"nsPerEpochP50"`
+	NsPerEpochP99  int64   `json:"nsPerEpochP99"`
+	AllocsPerEpoch float64 `json:"allocsPerEpoch"`
+	BytesPerEpoch  float64 `json:"bytesPerEpoch"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Schema    string           `json:"schema"`
+	Seed      int64            `json:"seed"`
+	GoVersion string           `json:"goVersion"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// scenario is a named macro-scenario builder.
+type scenario struct {
+	name   string
+	days   int
+	combo  []string // server catalog ids, 5 servers per group (Table IV)
+	policy policy.Policy
+}
+
+// scenarios returns the macro-scenario set. Quick mode keeps only the
+// short variants (CI-sized); the full set adds the year-long runs whose
+// numbers headline BENCH_PR6.json.
+func scenarios(quick bool) []scenario {
+	quickSet := []scenario{
+		{"quick-4d-comb1", 4, []string{server.XeonE52620, server.CoreI54460}, policy.Solver{Adaptive: true}},
+		{"quick-4d-comb5", 4, []string{server.XeonE52620, server.XeonE52603, server.CoreI54460}, policy.Solver{Adaptive: true}},
+	}
+	if quick {
+		return quickSet
+	}
+	return append(quickSet,
+		scenario{"year-comb1", 365, []string{server.XeonE52620, server.CoreI54460}, policy.Solver{Adaptive: true}},
+		scenario{"year-comb5", 365, []string{server.XeonE52620, server.XeonE52603, server.CoreI54460}, policy.Solver{Adaptive: true}},
+	)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ghperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("ghperf", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run only the short scenarios (CI-sized)")
+	seed := fs.Int64("seed", 7, "measurement noise seed")
+	asJSON := fs.Bool("json", false, "emit the JSON report instead of aligned text")
+	out := fs.String("out", "", "also write the JSON report to this file")
+	gate := fs.String("gate", "", "compare epochs/sec against this committed baseline; fail on >15% regression")
+	epochsOverride := fs.Int("epochs", 0, "override each scenario's epoch count (testing hook)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the scenario runs to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := Report{Schema: Schema, Seed: *seed, GoVersion: runtime.Version()}
+	for _, sc := range scenarios(*quick) {
+		res, err := runScenario(sc, *seed, *epochsOverride)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+		if !*asJSON {
+			fmt.Fprintf(stdout, "%-16s  epochs %6d  %10.0f epochs/sec  p50 %8s  p99 %8s  %6.1f allocs/epoch  %8.0f B/epoch\n",
+				res.Name, res.Epochs, res.EpochsPerSec,
+				time.Duration(res.NsPerEpochP50), time.Duration(res.NsPerEpochP99),
+				res.AllocsPerEpoch, res.BytesPerEpoch)
+		}
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *asJSON {
+		if _, err := stdout.Write(doc); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			return err
+		}
+	}
+	if *gate != "" {
+		return checkGate(rep, *gate, stdout)
+	}
+	return nil
+}
+
+// runScenario builds the rack, tiles the solar trace to the scenario
+// length, and times every Session.Step.
+func runScenario(sc scenario, seed int64, epochsOverride int) (ScenarioResult, error) {
+	groups := make([]server.Group, 0, len(sc.combo))
+	for _, id := range sc.combo {
+		spec, err := server.Lookup(id)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		groups = append(groups, server.Group{Spec: spec, Count: 5})
+	}
+	rack, err := server.NewRack("ghperf-"+sc.name, groups...)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	tr, err := solar.Generate(solar.Config{
+		Profile:   solar.High,
+		PeakWatts: 2200,
+		Days:      sc.days,
+		Step:      15 * time.Minute,
+		Seed:      1,
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	w, err := workload.Lookup(workload.SPECjbb)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	epochs := tr.Len()
+	if epochsOverride > 0 && epochsOverride < epochs {
+		epochs = epochsOverride
+	}
+	sess, err := sim.NewSession(sim.Config{
+		Rack:        rack,
+		Workload:    w,
+		Policy:      sc.policy,
+		Solar:       tr,
+		Epochs:      epochs,
+		GridBudgetW: 1000,
+		Seed:        seed,
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	durations := make([]int64, 0, epochs)
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for !sess.Done() {
+		t0 := time.Now()
+		if _, err := sess.Step(); err != nil {
+			return ScenarioResult{}, err
+		}
+		durations = append(durations, time.Since(t0).Nanoseconds())
+	}
+	total := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	n := len(durations)
+	res := ScenarioResult{
+		Name:           sc.name,
+		Epochs:         n,
+		EpochsPerSec:   float64(n) / total.Seconds(),
+		NsPerEpochP50:  durations[(n-1)*50/100],
+		NsPerEpochP99:  durations[(n-1)*99/100],
+		AllocsPerEpoch: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(n),
+		BytesPerEpoch:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(n),
+	}
+	return res, nil
+}
+
+// checkGate compares rep against the committed baseline, scenario name
+// by scenario name, and fails on an epochs/sec regression beyond
+// GateTolerance. Scenarios missing from either side are skipped (the
+// baseline may carry full-run entries a -quick gate run never produces).
+func checkGate(rep Report, path string, stdout *os.File) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gate baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("gate baseline %s: %w", path, err)
+	}
+	if base.Schema != Schema {
+		return fmt.Errorf("gate baseline %s: schema %q, want %q", path, base.Schema, Schema)
+	}
+	baseByName := make(map[string]ScenarioResult, len(base.Scenarios))
+	for _, s := range base.Scenarios {
+		baseByName[s.Name] = s
+	}
+	var failed bool
+	for _, got := range rep.Scenarios {
+		want, ok := baseByName[got.Name]
+		if !ok || want.EpochsPerSec <= 0 {
+			continue
+		}
+		ratio := got.EpochsPerSec / want.EpochsPerSec
+		status := "ok"
+		if ratio < 1-GateTolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "gate %-16s  baseline %10.0f  now %10.0f  (%+.1f%%)  %s\n",
+			got.Name, want.EpochsPerSec, got.EpochsPerSec, 100*(ratio-1), status)
+	}
+	if failed {
+		return fmt.Errorf("epochs/sec regressed more than %.0f%% vs %s", 100*GateTolerance, path)
+	}
+	return nil
+}

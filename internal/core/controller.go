@@ -98,6 +98,15 @@ type Controller struct {
 	// until the charge recovers, so the bank recharges cleanly instead
 	// of trickle-cycling at the floor.
 	recovering bool
+	// groups caches Rack.Groups() (immutable after construction) so the
+	// per-epoch paths do not re-copy the slice.
+	groups []server.Group
+	// scratch is the policy layer's reusable per-epoch working memory
+	// (projection entries, solver models, the warm solver cache). Owned
+	// by this controller, so it is never shared across goroutines.
+	scratch *policy.Scratch
+	// wsBuf backs StepObserved's uniform-workload expansion.
+	wsBuf []workload.Workload
 }
 
 // recoverSoC is the state of charge at which a bank that drained to its
@@ -148,7 +157,14 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Controller{cfg: cfg, renewable: ren, demand: dem, psc: psc}, nil
+	return &Controller{
+		cfg:       cfg,
+		renewable: ren,
+		demand:    dem,
+		psc:       psc,
+		groups:    cfg.Rack.Groups(),
+		scratch:   policy.NewScratch(),
+	}, nil
 }
 
 // Decision records everything the controller decided for one epoch.
@@ -215,7 +231,11 @@ func (c *Controller) Step(obsRenewableW, obsDemandW float64, w workload.Workload
 
 // StepObserved is Step with explicit observation provenance.
 func (c *Controller) StepObserved(obs Observation, w workload.Workload) (Decision, error) {
-	ws := make([]workload.Workload, c.cfg.Rack.NumGroups())
+	n := c.cfg.Rack.NumGroups()
+	if cap(c.wsBuf) < n {
+		c.wsBuf = make([]workload.Workload, n)
+	}
+	ws := c.wsBuf[:n]
 	for i := range ws {
 		ws[i] = w
 	}
@@ -268,11 +288,16 @@ func (c *Controller) StepMixedObserved(obs Observation, groupWs []workload.Workl
 	} else if c.cfg.Battery.SoC() >= recoverSoC {
 		c.recovering = false
 	}
+	// The bank is not mutated until psc.Apply below, so the planning and
+	// enforcement selections see identical battery headroom — compute it
+	// once.
+	batteryDischargeW := c.cfg.Battery.AvailableDischargeW(c.cfg.Epoch)
+	batteryChargeW := c.cfg.Battery.AcceptableChargeW(c.cfg.Epoch)
 	planned, err := power.Select(power.Inputs{
 		RenewableW:        d.PredictedRenewableW,
 		DemandW:           d.PredictedDemandW,
-		BatteryDischargeW: c.cfg.Battery.AvailableDischargeW(c.cfg.Epoch),
-		BatteryChargeW:    c.cfg.Battery.AcceptableChargeW(c.cfg.Epoch),
+		BatteryDischargeW: batteryDischargeW,
+		BatteryChargeW:    batteryChargeW,
 		GridBudgetW:       c.cfg.GridBudgetW,
 		DischargeLockout:  c.recovering,
 	})
@@ -303,8 +328,8 @@ func (c *Controller) StepMixedObserved(obs Observation, groupWs []workload.Workl
 	execPlan, err := power.Select(power.Inputs{
 		RenewableW:        obsRenewableW,
 		DemandW:           d.PredictedDemandW,
-		BatteryDischargeW: c.cfg.Battery.AvailableDischargeW(c.cfg.Epoch),
-		BatteryChargeW:    c.cfg.Battery.AcceptableChargeW(c.cfg.Epoch),
+		BatteryDischargeW: batteryDischargeW,
+		BatteryChargeW:    batteryChargeW,
 		GridBudgetW:       c.cfg.GridBudgetW,
 		DischargeLockout:  c.recovering,
 	})
@@ -354,7 +379,7 @@ func (c *Controller) forecast(h timeseries.Predictor, fallback float64) float64 
 // entry for its workload. Returns whether any training ran this epoch.
 func (c *Controller) ensureProfiled(groupWs []workload.Workload) (bool, error) {
 	var trained bool
-	for i, g := range c.cfg.Rack.Groups() {
+	for i, g := range c.groups {
 		k := profiledb.Key{ServerID: g.Spec.ID, WorkloadID: groupWs[i].ID}
 		if c.cfg.DB.Has(k) {
 			continue
@@ -378,12 +403,12 @@ func (c *Controller) ensureProfiled(groupWs []workload.Workload) (bool, error) {
 // demandShares returns each group's share of the rack's believed demand,
 // from database ranges when profiled, otherwise nameplate peaks.
 func (c *Controller) demandShares(groupWs []workload.Workload) []float64 {
-	groups := c.cfg.Rack.Groups()
+	groups := c.groups
 	demands := make([]float64, len(groups))
 	var total float64
 	for i, g := range groups {
 		perServer := g.Spec.PeakW
-		if e, err := c.cfg.DB.Lookup(profiledb.Key{ServerID: g.Spec.ID, WorkloadID: groupWs[i].ID}); err == nil {
+		if e, err := c.cfg.DB.Projection(profiledb.Key{ServerID: g.Spec.ID, WorkloadID: groupWs[i].ID}); err == nil {
 			perServer = e.PeakEffW
 		}
 		demands[i] = float64(g.Count) * perServer
@@ -401,11 +426,12 @@ func (c *Controller) demandShares(groupWs []workload.Workload) []float64 {
 // allocate asks the policy for the PAR vector.
 func (c *Controller) allocate(groupWs []workload.Workload, supplyW float64) ([]float64, error) {
 	ctx := policy.Context{
-		Groups:         c.cfg.Rack.Groups(),
+		Groups:         c.groups,
 		Workload:       groupWs[0],
 		GroupWorkloads: groupWs,
 		SupplyW:        supplyW,
 		DB:             c.cfg.DB,
+		Scratch:        c.scratch,
 	}
 	if c.cfg.TryAllocation != nil {
 		ctx.TryAllocation = func(fracs []float64) (float64, error) {

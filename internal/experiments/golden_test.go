@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden rewrites the golden files from the current output. It
+// exists for intentional table-format or scenario changes only — the
+// whole point of the goldens is that hot-path optimizations (the
+// accumulator-based refits, the warm-started solver, the preallocated
+// epoch buffers) must NOT need it: they are required to reproduce the
+// reference output byte for byte.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden experiment outputs")
+
+// TestExperimentsGolden locks every experiment id's quick-mode output
+// (seed 7, the Options default) against goldens captured before the
+// epoch hot-path optimizations landed. It is the equivalence gate of
+// DESIGN §5g: the optimized fit/solver/sim paths run unconditionally —
+// there is no opt-out flag — so any byte of drift in any table fails
+// here.
+func TestExperimentsGolden(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := Run(id, Options{Quick: true})
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			var buf bytes.Buffer
+			if _, err := tbl.WriteTo(&buf); err != nil {
+				t.Fatalf("WriteTo(%s): %v", id, err)
+			}
+			path := filepath.Join("testdata", "golden", id+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden for %s (run with -update-golden to create): %v", id, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from golden %s\n--- golden ---\n%s\n--- got ---\n%s",
+					id, path, want, buf.Bytes())
+			}
+		})
+	}
+}

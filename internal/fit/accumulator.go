@@ -1,0 +1,144 @@
+package fit
+
+import "fmt"
+
+// Accumulator is the incremental form of Polynomial: it maintains the
+// normal-equation sums (Σ xᵏ and Σ y·xᵏ) as samples arrive, so the
+// per-epoch refit of a profile-database entry costs O(degree) per
+// appended sample plus one small dense solve — instead of re-walking the
+// whole retained window — and performs zero steady-state allocations
+// (the matrix, right-hand side, and coefficient buffers are preallocated
+// at construction).
+//
+// Equivalence contract (enforced by FuzzFitIncremental): a Fit over a
+// window whose samples were Appended in order returns the bit-identical
+// Poly that the batch Polynomial returns for that window. This holds
+// because Append performs exactly the per-sample operations of the batch
+// loop, in the same order, on the same running sums. The one case where
+// an O(1) update is provably unable to preserve bit-identity is window
+// eviction: subtracting an evicted sample's contributions re-associates
+// the floating-point additions and is only ULP-close, not identical
+// ((a+b)-a ≠ b in general). Eviction therefore re-accumulates over the
+// retained window via ReplaceWindow — O(window·degree), still
+// allocation-free, and the window is small by design (profiledb caps it
+// at 64 samples).
+type Accumulator struct {
+	degree int
+	n      int
+	// pow[k] = Σ xᵏ for k in [0, 2·degree]; mom[k] = Σ y·xᵏ for
+	// k in [0, degree]. Identical accumulation order to Polynomial.
+	pow []float64
+	mom []float64
+	// Preallocated solve scratch: rows points into rowBuf (the normal
+	// matrix is rebuilt from pow before every solve, and solveLinearInto
+	// swaps row headers while pivoting).
+	rows   [][]float64
+	rowBuf []float64
+	rhs    []float64
+	// Double-buffered coefficients: a failed solve may scribble on its
+	// output before detecting a NaN, so each Fit solves into the buffer
+	// the previous successful Fit did NOT return. The previously
+	// returned Poly (e.g. a live profiledb curve kept in force after a
+	// degenerate refit) is never corrupted by a failed attempt.
+	coeffs [2][]float64
+	cur    int
+}
+
+// NewAccumulator prepares an accumulator for fits up to the given
+// degree (lower degrees can be fitted from the same sums — the sums a
+// degree-d fit needs are a prefix of a higher-degree accumulator's).
+func NewAccumulator(degree int) (*Accumulator, error) {
+	if degree < 1 || degree > 6 {
+		return nil, ErrBadDegree
+	}
+	m := degree + 1
+	a := &Accumulator{
+		degree: degree,
+		pow:    make([]float64, 2*degree+1),
+		mom:    make([]float64, m),
+		rows:   make([][]float64, m),
+		rowBuf: make([]float64, m*m),
+		rhs:    make([]float64, m),
+	}
+	a.coeffs[0] = make([]float64, m)
+	a.coeffs[1] = make([]float64, m)
+	return a, nil
+}
+
+// Len reports the number of accumulated samples.
+func (a *Accumulator) Len() int { return a.n }
+
+// Degree reports the maximum fittable degree.
+func (a *Accumulator) Degree() int { return a.degree }
+
+// Append folds one sample into the running sums. It performs exactly
+// the batch loop's per-sample updates (same expressions, same order),
+// which is what makes append-only windows bit-identical to batch fits.
+func (a *Accumulator) Append(s Sample) {
+	xp := 1.0
+	for k := 0; k <= 2*a.degree; k++ {
+		a.pow[k] += xp
+		if k <= a.degree {
+			a.mom[k] += s.Y * xp
+		}
+		xp *= s.X
+	}
+	a.n++
+}
+
+// Reset clears the sums (the solve buffers are retained).
+func (a *Accumulator) Reset() {
+	for i := range a.pow {
+		a.pow[i] = 0
+	}
+	for i := range a.mom {
+		a.mom[i] = 0
+	}
+	a.n = 0
+}
+
+// ReplaceWindow resets and re-accumulates over window in order — the
+// eviction path (see the type comment for why eviction cannot be O(1)
+// without losing bit-identity).
+func (a *Accumulator) ReplaceWindow(window []Sample) {
+	a.Reset()
+	for _, s := range window {
+		a.Append(s)
+	}
+}
+
+// Fit solves the normal equations for the given degree from the running
+// sums. window must hold exactly the accumulated samples, in order; it
+// is consulted only for the R² computation. The returned Poly's Coeffs
+// alias an internal buffer that remains valid until the next successful
+// Fit — callers that retain coefficients across fits must copy them
+// (profiledb's Lookup/Save/Projection all do).
+func (a *Accumulator) Fit(window []Sample, degree int) (Poly, error) {
+	if degree < 1 || degree > a.degree {
+		return Poly{}, ErrBadDegree
+	}
+	if len(window) != a.n {
+		return Poly{}, fmt.Errorf("fit: window has %d samples, accumulator holds %d", len(window), a.n)
+	}
+	m := degree + 1
+	if a.n < m {
+		return Poly{}, fmt.Errorf("%w: have %d, need %d", ErrTooFewSamples, a.n, m)
+	}
+	for i := 0; i < m; i++ {
+		row := a.rowBuf[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			row[j] = a.pow[i+j]
+		}
+		a.rows[i] = row
+	}
+	rhs := a.rhs[:m]
+	copy(rhs, a.mom[:m])
+	next := a.coeffs[1-a.cur][:m]
+	if err := solveLinearInto(a.rows[:m], rhs, next); err != nil {
+		return Poly{}, err
+	}
+	a.cur = 1 - a.cur
+	p := Poly{Coeffs: next, N: a.n}
+	p.R2 = rSquared(window, p)
+	return p, nil
+}

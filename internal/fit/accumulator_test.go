@@ -1,0 +1,159 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// polyBitsEqual reports whether two fits are bit-identical (coefficients,
+// R², and N), the equivalence currency of the hot-path optimizations.
+func polyBitsEqual(a, b Poly) bool {
+	if a.N != b.N || math.Float64bits(a.R2) != math.Float64bits(b.R2) || len(a.Coeffs) != len(b.Coeffs) {
+		return false
+	}
+	for i := range a.Coeffs {
+		if math.Float64bits(a.Coeffs[i]) != math.Float64bits(b.Coeffs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func mustAcc(t *testing.T, degree int) *Accumulator {
+	t.Helper()
+	a, err := NewAccumulator(degree)
+	if err != nil {
+		t.Fatalf("NewAccumulator(%d): %v", degree, err)
+	}
+	return a
+}
+
+// quadSamples synthesizes a noisy-but-deterministic quadratic window.
+func quadSamples(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		x := 40 + 3.7*float64(i)
+		out[i] = Sample{X: x, Y: 12 + 4.1*x - 0.013*x*x + math.Sin(float64(i))}
+	}
+	return out
+}
+
+func TestAccumulatorMatchesBatchAppendOnly(t *testing.T) {
+	samples := quadSamples(40)
+	acc := mustAcc(t, 2)
+	for i, s := range samples {
+		acc.Append(s)
+		window := samples[:i+1]
+		for _, deg := range []int{1, 2} {
+			want, wantErr := Polynomial(window, deg)
+			got, gotErr := acc.Fit(window, deg)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("n=%d deg=%d: batch err %v, acc err %v", i+1, deg, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("n=%d deg=%d: error text %q vs %q", i+1, deg, wantErr, gotErr)
+				}
+				continue
+			}
+			if !polyBitsEqual(want, got) {
+				t.Fatalf("n=%d deg=%d: batch %+v, acc %+v not bit-identical", i+1, deg, want, got)
+			}
+		}
+	}
+}
+
+func TestAccumulatorMatchesBatchAfterEviction(t *testing.T) {
+	const window = 16
+	samples := quadSamples(60)
+	acc := mustAcc(t, 2)
+	var win []Sample
+	for _, s := range samples {
+		win = append(win, s)
+		if len(win) > window {
+			win = win[1:]
+			acc.ReplaceWindow(win)
+		} else {
+			acc.Append(s)
+		}
+		want, err := Quadratic(win)
+		if err != nil {
+			continue
+		}
+		got, err := acc.Fit(win, 2)
+		if err != nil {
+			t.Fatalf("acc fit errored (%v) where batch succeeded", err)
+		}
+		if !polyBitsEqual(want, got) {
+			t.Fatalf("window fit diverged: batch %+v acc %+v", want, got)
+		}
+	}
+}
+
+func TestAccumulatorFailedSolveKeepsPreviousCoeffs(t *testing.T) {
+	good := quadSamples(8)
+	acc := mustAcc(t, 2)
+	acc.ReplaceWindow(good)
+	p, err := acc.Fit(good, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := append([]float64(nil), p.Coeffs...)
+
+	// Degenerate window: all samples share X — singular normal equations.
+	bad := make([]Sample, 8)
+	for i := range bad {
+		bad[i] = Sample{X: 50, Y: float64(i)}
+	}
+	acc.ReplaceWindow(bad)
+	if _, err := acc.Fit(bad, 2); err == nil {
+		t.Fatal("expected singular fit to fail")
+	}
+	// The previously returned Poly must be untouched: a live profiledb
+	// curve stays in force after a degenerate refit.
+	for i := range kept {
+		if math.Float64bits(kept[i]) != math.Float64bits(p.Coeffs[i]) {
+			t.Fatalf("failed solve corrupted previous coefficients: %v vs %v", kept, p.Coeffs)
+		}
+	}
+}
+
+func TestAccumulatorValidation(t *testing.T) {
+	if _, err := NewAccumulator(0); !errors.Is(err, ErrBadDegree) {
+		t.Fatalf("degree 0: %v", err)
+	}
+	if _, err := NewAccumulator(7); !errors.Is(err, ErrBadDegree) {
+		t.Fatalf("degree 7: %v", err)
+	}
+	acc := mustAcc(t, 2)
+	samples := quadSamples(5)
+	acc.ReplaceWindow(samples)
+	if _, err := acc.Fit(samples, 3); !errors.Is(err, ErrBadDegree) {
+		t.Fatalf("degree above accumulator's: %v", err)
+	}
+	if _, err := acc.Fit(samples[:3], 2); err == nil {
+		t.Fatal("window/accumulator length mismatch must error")
+	}
+	if _, err := acc.Fit(samples, 2); err != nil {
+		t.Fatalf("valid fit: %v", err)
+	}
+}
+
+func TestAccumulatorFitAllocsFree(t *testing.T) {
+	samples := quadSamples(64)
+	acc := mustAcc(t, 2)
+	acc.ReplaceWindow(samples)
+	if _, err := acc.Fit(samples, 2); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		acc.ReplaceWindow(samples)
+		if _, err := acc.Fit(samples, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReplaceWindow+Fit allocates %v per run, want 0", allocs)
+	}
+}

@@ -171,6 +171,17 @@ func rSquared(samples []Sample, p Poly) float64 {
 
 // solveLinear solves a·x = b with partial pivoting. It mutates its inputs.
 func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	x := make([]float64, len(a))
+	if err := solveLinearInto(a, b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveLinearInto is solveLinear writing the solution into x (len(a)),
+// so hot-path callers (the Accumulator) can reuse buffers. It mutates a
+// and b, and may partially write x before detecting a NaN/Inf solution.
+func solveLinearInto(a [][]float64, b, x []float64) error {
 	n := len(a)
 	for col := 0; col < n; col++ {
 		// Pivot: pick the row with the largest |a[row][col]|.
@@ -181,7 +192,7 @@ func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 			}
 		}
 		if math.Abs(a[pivot][col]) < 1e-12 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		a[col], a[pivot] = a[pivot], a[col]
 		b[col], b[pivot] = b[pivot], b[col]
@@ -199,7 +210,6 @@ func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 		}
 	}
 
-	x := make([]float64, n)
 	for row := n - 1; row >= 0; row-- {
 		sum := b[row]
 		for c := row + 1; c < n; c++ {
@@ -209,8 +219,8 @@ func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 	}
 	for _, v := range x {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 	}
-	return x, nil
+	return nil
 }

@@ -44,6 +44,41 @@ type Context struct {
 	// policy uses it — that is exactly how the paper's Manual baseline
 	// works (static trial of every 10 % split).
 	TryAllocation func(fractions []float64) (float64, error)
+	// Scratch, when non-nil, lets the database-driven policies reuse
+	// working memory (projection entries, solver models, the warm solver
+	// cache) across epochs instead of reallocating per decision. Results
+	// are bit-identical with or without it. A Scratch must not be shared
+	// across concurrent allocations; the controller owns one per run.
+	Scratch *Scratch
+}
+
+// Scratch is reusable working memory for the per-epoch allocation hot
+// path. Its lifetime is one controller (one simulated run): the embedded
+// warm solver memoizes on the full model/supply/options input, so reuse
+// across epochs — or even across different racks — can never return a
+// stale result, only skip redundant searches.
+type Scratch struct {
+	warm    solver.Warm
+	entries []profiledb.Entry
+	models  []solver.GroupModel
+}
+
+// NewScratch returns an empty Scratch ready for Context use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure sizes the scratch for n groups, binding each model's Perf to
+// its projection entry exactly once per shape change — ProjectionInto
+// then refreshes the entry fields in place each epoch and the bound
+// method value observes them through the pointer.
+func (sc *Scratch) ensure(n int) {
+	if len(sc.entries) == n {
+		return
+	}
+	sc.entries = make([]profiledb.Entry, n)
+	sc.models = make([]solver.GroupModel, n)
+	for i := range sc.models {
+		sc.models[i].Perf = sc.entries[i].Predict
+	}
 }
 
 // Policy decides a PAR vector for one epoch.
@@ -240,23 +275,40 @@ func (s Solver) Name() string {
 // UpdatesDB implements Policy.
 func (s Solver) UpdatesDB() bool { return s.Adaptive }
 
-// Allocate runs the PAR optimizer over the database projections.
+// Allocate runs the PAR optimizer over the database projections. With a
+// Context Scratch it reuses the model slice and the warm solver (memoized
+// and table-accelerated, bit-identical to the cold solve); without one it
+// builds fresh models and runs the reference solver.
 func (s Solver) Allocate(ctx Context) ([]float64, error) {
 	entries, err := dbEntries(ctx)
 	if err != nil {
 		return nil, err
 	}
-	models := make([]solver.GroupModel, len(ctx.Groups))
-	for i, g := range ctx.Groups {
-		e := entries[i]
-		models[i] = solver.GroupModel{
-			Count:    g.Count,
-			IdleW:    e.IdleW,
-			PeakEffW: e.PeakEffW,
-			Perf:     e.Predict,
-		}
+	sc := ctx.Scratch
+	var models []solver.GroupModel
+	if sc != nil {
+		models = sc.models
+	} else {
+		models = make([]solver.GroupModel, len(ctx.Groups))
 	}
-	res, err := solver.Optimize(models, ctx.SupplyW, s.Options)
+	for i, g := range ctx.Groups {
+		e := &entries[i]
+		models[i].Count = g.Count
+		models[i].IdleW = e.IdleW
+		models[i].PeakEffW = e.PeakEffW
+		if sc == nil {
+			models[i].Perf = e.Predict
+		}
+		// The projection's Perf is fully determined by these fields —
+		// declare that so the warm solver may memoize.
+		models[i].Coeffs = e.Curve.Coeffs
+	}
+	var res solver.Result
+	if sc != nil {
+		res, err = sc.warm.Optimize(models, ctx.SupplyW, s.Options)
+	} else {
+		res, err = solver.Optimize(models, ctx.SupplyW, s.Options)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("policy %s: %w", s.Name(), err)
 	}
@@ -275,7 +327,11 @@ func (c Context) workloadFor(i int) (workload.Workload, error) {
 	return c.GroupWorkloads[i], nil
 }
 
-// dbEntries fetches the database entry for every group, or ErrNotProfiled.
+// dbEntries fetches the database projection for every group, or
+// ErrNotProfiled. The policies read only the projection fields (bounds,
+// curve, efficiency) — never the sample window — so with a Scratch the
+// entries are refreshed in place with zero steady-state allocations;
+// without one each call builds a fresh slice.
 func dbEntries(ctx Context) ([]profiledb.Entry, error) {
 	if len(ctx.Groups) == 0 {
 		return nil, fmt.Errorf("%w: no groups", ErrBadContext)
@@ -284,20 +340,22 @@ func dbEntries(ctx Context) ([]profiledb.Entry, error) {
 		return nil, fmt.Errorf("%w: nil database", ErrBadContext)
 	}
 	out := make([]profiledb.Entry, len(ctx.Groups))
+	if sc := ctx.Scratch; sc != nil {
+		sc.ensure(len(ctx.Groups))
+		out = sc.entries
+	}
 	for i, g := range ctx.Groups {
 		w, err := ctx.workloadFor(i)
 		if err != nil {
 			return nil, err
 		}
 		k := profiledb.Key{ServerID: g.Spec.ID, WorkloadID: w.ID}
-		e, err := ctx.DB.Lookup(k)
-		if err != nil {
+		if err := ctx.DB.ProjectionInto(k, &out[i]); err != nil {
 			if errors.Is(err, profiledb.ErrNotFound) {
 				return nil, fmt.Errorf("%w: %s", ErrNotProfiled, k)
 			}
 			return nil, err
 		}
-		out[i] = e
 	}
 	return out, nil
 }

@@ -47,6 +47,15 @@ type Entry struct {
 	Curve fit.Poly `json:"curve"`
 	// Refits counts how many times the curve was reconstructed.
 	Refits int `json:"refits"`
+
+	// acc carries the entry's running normal-equation sums so the
+	// per-epoch refit is incremental (O(new samples) instead of
+	// O(window)) and allocation-free. It is lazily created on the first
+	// AddFeedback, kept in sync with Samples from then on, and never
+	// copied out of the store (copyEntry drops it): fits from the sums
+	// are bit-identical to batch fits over the same window, so its
+	// presence is invisible to every reader.
+	acc *fit.Accumulator
 }
 
 // Predict evaluates the projection with the paper's clamping: zero below
@@ -157,6 +166,33 @@ func (db *DB) Lookup(k Key) (Entry, error) {
 	return copyEntry(e), nil
 }
 
+// Projection returns a copy of the entry without its retained samples —
+// the fields the allocation policies and solver actually read (bounds,
+// curve, refit count). Use Lookup when the sample window is needed.
+func (db *DB) Projection(k Key) (Entry, error) {
+	var out Entry
+	if err := db.ProjectionInto(k, &out); err != nil {
+		return Entry{}, err
+	}
+	return out, nil
+}
+
+// ProjectionInto is Projection writing into out, reusing out's
+// coefficient capacity — the per-epoch policy path calls it once per
+// group with a scratch Entry and performs no steady-state allocations.
+func (db *DB) ProjectionInto(k Key, out *Entry) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[k]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, k)
+	}
+	coeffs := append(out.Curve.Coeffs[:0], e.Curve.Coeffs...)
+	*out = Entry{Key: e.Key, IdleW: e.IdleW, PeakEffW: e.PeakEffW, Curve: e.Curve, Refits: e.Refits}
+	out.Curve.Coeffs = coeffs
+	return nil
+}
+
 // Has reports whether the pair has been profiled (Algorithm 1 line 3).
 func (db *DB) Has(k Key) bool {
 	db.mu.RLock()
@@ -205,8 +241,21 @@ func (db *DB) AddFeedback(k Key, samples ...fit.Sample) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, k)
 	}
-	e.Samples = append(e.Samples, samples...)
-	db.trim(e)
+	// Evict before appending, in place. The retained window is the tail
+	// of (old ++ incoming), which is exactly what append-then-trim kept,
+	// without reallocating the sample slice every epoch.
+	incoming := samples
+	over := len(e.Samples) + len(incoming) - db.maxSamples
+	if over > 0 {
+		if over >= len(e.Samples) {
+			incoming = incoming[over-len(e.Samples):]
+			e.Samples = e.Samples[:0]
+		} else {
+			n := copy(e.Samples, e.Samples[over:])
+			e.Samples = e.Samples[:n]
+		}
+	}
+	e.Samples = append(e.Samples, incoming...)
 	// A feedback draw beyond the believed effective peak means the
 	// workload's demand grew (e.g. load intensity rose since the
 	// training run): widen the projection's validity range. The range
@@ -217,21 +266,41 @@ func (db *DB) AddFeedback(k Key, samples ...fit.Sample) error {
 			e.PeakEffW = s.X
 		}
 	}
-	curve, err := fitCurve(e.Samples)
+	// Keep the incremental sums in step with the window. Appends fold in
+	// O(degree) per sample; evictions re-accumulate (the only way to
+	// stay bit-identical to a batch fit — see fit.Accumulator).
+	resync := over > 0
+	if e.acc == nil {
+		e.acc, _ = fit.NewAccumulator(2) // degree 2 never errors
+		resync = true
+	}
+	if resync {
+		e.acc.ReplaceWindow(e.Samples)
+	} else {
+		for _, s := range incoming {
+			e.acc.Append(s)
+		}
+	}
+	curve, err := refitEntry(e)
 	if err != nil {
 		// Degenerate feedback (e.g. repeated identical power points
 		// after eviction) must not corrupt the existing projection.
 		return fmt.Errorf("refit %s: %w", k, err)
 	}
+	// The accumulator's coefficient buffer is reused two fits later;
+	// copy into the entry-owned slice (reusing its capacity) so the
+	// stored curve survives future refits.
+	curve.Coeffs = append(e.Curve.Coeffs[:0], curve.Coeffs...)
 	e.Curve = curve
 	e.Refits++
 	return nil
 }
 
-// trim evicts the oldest samples beyond maxSamples.
+// trim evicts the oldest samples beyond maxSamples, shifting in place.
 func (db *DB) trim(e *Entry) {
 	if over := len(e.Samples) - db.maxSamples; over > 0 {
-		e.Samples = append(e.Samples[:0:0], e.Samples[over:]...)
+		n := copy(e.Samples, e.Samples[over:])
+		e.Samples = e.Samples[:n]
 	}
 }
 
@@ -250,10 +319,28 @@ func fitCurve(samples []fit.Sample) (fit.Poly, error) {
 	return p, nil
 }
 
+// refitEntry is fitCurve on the entry's incremental sums: the same
+// quadratic-then-linear ladder with the same error wrapping, fed from
+// the accumulator instead of re-walking the window. Bit-identical to
+// fitCurve(e.Samples) by the accumulator's equivalence contract.
+func refitEntry(e *Entry) (fit.Poly, error) {
+	if len(e.Samples) >= 4 {
+		if p, err := e.acc.Fit(e.Samples, 2); err == nil {
+			return p, nil
+		}
+	}
+	p, err := e.acc.Fit(e.Samples, 1)
+	if err != nil {
+		return fit.Poly{}, fmt.Errorf("%w: %v", ErrFit, err)
+	}
+	return p, nil
+}
+
 func copyEntry(e *Entry) Entry {
 	out := *e
 	out.Samples = append([]fit.Sample(nil), e.Samples...)
 	out.Curve.Coeffs = append([]float64(nil), e.Curve.Coeffs...)
+	out.acc = nil
 	return out
 }
 

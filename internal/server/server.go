@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Class broadly distinguishes processing hardware.
@@ -110,6 +111,23 @@ type PowerState struct {
 // classic DVFS scaling P = idle + (peak − idle)·(f/fmax)^e with e ≈ 2.2
 // (voltage scales with frequency, P ∝ f·V²).
 func (s Spec) States() []PowerState {
+	return append([]PowerState(nil), s.cachedStates()...)
+}
+
+// statesCache memoizes buildStates per Spec (a comparable value type):
+// the state set is a pure function of the spec, and the SPC maps a power
+// target to a state every epoch — rebuilding the ladder (with its
+// per-level Pow and Sprintf) on each enforcement dominated the epoch
+// hot path before caching.
+var statesCache sync.Map // Spec → []PowerState
+
+// cachedStates returns the memoized state set. The returned slice is
+// shared: callers must not mutate it (States hands external callers a
+// copy).
+func (s Spec) cachedStates() []PowerState {
+	if v, ok := statesCache.Load(s); ok {
+		return v.([]PowerState)
+	}
 	const sleepW = 4.0
 	const dvfsExp = 2.2
 	states := make([]PowerState, 0, s.DVFSLevels+1)
@@ -126,7 +144,8 @@ func (s Spec) States() []PowerState {
 			Watts:   w,
 		})
 	}
-	return states
+	v, _ := statesCache.LoadOrStore(s, states)
+	return v.([]PowerState)
 }
 
 // StateForPower implements the paper's linear mapping from a power target
@@ -134,7 +153,7 @@ func (s Spec) States() []PowerState {
 // highest state, targets below the lowest running state select sleep, and
 // anything between is linearly scaled to a state index.
 func (s Spec) StateForPower(targetW float64) PowerState {
-	states := s.States()
+	states := s.cachedStates()
 	lo := states[1].Watts // lowest running state
 	hi := states[len(states)-1].Watts
 	switch {

@@ -369,6 +369,13 @@ type Session struct {
 
 	epoch      int
 	prevDemand float64
+
+	// fbMap and fbBufs are Step's reusable feedback staging: the
+	// database copies samples out inside FeedbackMixed, so the map and
+	// per-group slices are safe to recycle every epoch instead of
+	// reallocating.
+	fbMap  map[int][]fit.Sample
+	fbBufs [][]fit.Sample
 }
 
 // NewSession validates cfg and prepares a stepwise simulation.
@@ -483,7 +490,12 @@ func (s *Session) Step() (EpochResult, error) {
 		Fractions:   dec.Fractions,
 		TrainingRun: dec.TrainingRun,
 	}
-	feedback := make(map[int][]fit.Sample, len(s.groups))
+	if s.fbMap == nil {
+		s.fbMap = make(map[int][]fit.Sample, len(s.groups))
+		s.fbBufs = make([][]fit.Sample, len(s.groups))
+	}
+	clear(s.fbMap)
+	feedback := s.fbMap
 	for i, g := range s.groups {
 		gw := c.GroupWorkloads[i]
 		// In a Case A epoch servers are uncapped and draw their
@@ -504,10 +516,11 @@ func (s *Session) Step() (EpochResult, error) {
 		// epochs that is the workload's true saturation point,
 		// which is how the database's validity range tracks load.
 		if usedPerServer > 0 {
-			fs := make([]fit.Sample, 0, c.FeedbackSamples)
+			fs := s.fbBufs[i][:0]
 			for smp := 0; smp < c.FeedbackSamples; smp++ {
 				fs = append(fs, measureAt(g.Spec, gw, usedPerServer, intensity, 1, s.rng))
 			}
+			s.fbBufs[i] = fs
 			feedback[i] = fs
 		}
 	}

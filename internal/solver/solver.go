@@ -38,6 +38,13 @@ type GroupModel struct {
 	// It must honor the clamping semantics (0 below IdleW, constant
 	// above PeakEffW); profiledb.Entry.Predict does.
 	Perf func(perServerW float64) float64
+	// Coeffs, when non-nil, declares that Perf is a pure function fully
+	// determined by (IdleW, PeakEffW, Coeffs) — true of a profiledb
+	// projection, whose curve these are the coefficients of. Warm uses
+	// the declaration to memoize solves and tabulate per-group values;
+	// leave nil for opaque Perf functions and Warm degrades to the
+	// reference search.
+	Coeffs []float64
 }
 
 // Result is the optimized allocation.
@@ -84,21 +91,30 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Optimize finds the PAR vector maximizing projected throughput.
-func Optimize(models []GroupModel, supplyW float64, opts Options) (Result, error) {
+// validate rejects malformed solver inputs; shared by Optimize and
+// Warm.Optimize so both paths report identical errors.
+func validate(models []GroupModel, supplyW float64) error {
 	if len(models) == 0 {
-		return Result{}, ErrNoGroups
+		return ErrNoGroups
 	}
 	if len(models) > 3 {
-		return Result{}, fmt.Errorf("%w: %d", ErrTooManyGroups, len(models))
+		return fmt.Errorf("%w: %d", ErrTooManyGroups, len(models))
 	}
 	if supplyW <= 0 {
-		return Result{}, fmt.Errorf("%w: %v", ErrBadSupply, supplyW)
+		return fmt.Errorf("%w: %v", ErrBadSupply, supplyW)
 	}
 	for i, m := range models {
 		if m.Count < 1 || m.IdleW <= 0 || m.PeakEffW <= m.IdleW || m.Perf == nil {
-			return Result{}, fmt.Errorf("%w: group %d: %+v", ErrBadModel, i, m)
+			return fmt.Errorf("%w: group %d: %+v", ErrBadModel, i, m)
 		}
+	}
+	return nil
+}
+
+// Optimize finds the PAR vector maximizing projected throughput.
+func Optimize(models []GroupModel, supplyW float64, opts Options) (Result, error) {
+	if err := validate(models, supplyW); err != nil {
+		return Result{}, err
 	}
 	o := opts.withDefaults()
 

@@ -1,0 +1,363 @@
+package solver
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Warm is a reusable solver context for the per-epoch hot path. It is
+// bit-for-bit equivalent to Optimize — same Fractions, PredictedPerf,
+// Evaluations, and errors for every input — but amortizes work across
+// calls two ways:
+//
+//   - Memoization: when every model declares Coeffs (its Perf a pure
+//     function of the model fields), the full input — supply, options,
+//     and each group's Count/IdleW/PeakEffW/Coeffs — is encoded into a
+//     key, and an unchanged input returns the previous Result without
+//     re-searching. The key captures everything the search reads, so a
+//     hit can never be semantically stale. Under a steady solar plateau
+//     and a converged profile database this skips the entire simplex
+//     scan.
+//   - Per-group grid tables: on a miss, groups 0..n-2 have their
+//     objective contributions precomputed once per grid value instead of
+//     once per simplex point (the 3-group scan visits each (i,·) row
+//     steps times). The last group's fraction is the simplex remainder
+//     1−f₀−f₁, which is not a grid multiple, so it is evaluated directly
+//     per point; the per-point accumulation replays the reference
+//     objective's additions in order, keeping the totals bit-identical.
+//
+// The grid's tie-breaking is load-bearing: the scan takes the first
+// strict improvement in row-major order, so the warm path must visit
+// points in exactly the reference order — it accelerates evaluation,
+// never reordering or pruning the scan. All search scratch (tables,
+// fraction buffers, the refine vector) is preallocated and reused, so a
+// steady-state call performs a single small allocation: the returned
+// Result's caller-owned Fractions slice.
+//
+// A Warm is not safe for concurrent use; give each goroutine its own.
+// The zero value is ready.
+type Warm struct {
+	key    []byte // key of the memoized solve
+	keyBuf []byte // scratch for building the candidate key
+	memoOK bool
+	memo   Result // Fractions owned by the cache; copied out on hit
+
+	tables   [][]float64
+	tableBuf []float64
+	fracs    []float64
+	bestBuf  []float64
+	refineFr []float64
+	trimmed  []float64
+}
+
+// Optimize is Optimize with warm-start: identical contract and results,
+// reusing this Warm's cache and scratch buffers.
+func (w *Warm) Optimize(models []GroupModel, supplyW float64, opts Options) (Result, error) {
+	if err := validate(models, supplyW); err != nil {
+		return Result{}, err
+	}
+	o := opts.withDefaults()
+
+	if key, ok := w.encodeKey(models, supplyW, o); ok {
+		if w.memoOK && bytesEqual(key, w.key) {
+			return Result{
+				Fractions:     append([]float64(nil), w.memo.Fractions...),
+				PredictedPerf: w.memo.PredictedPerf,
+				Evaluations:   w.memo.Evaluations,
+			}, nil
+		}
+		w.key = append(w.key[:0], key...)
+		res := w.solve(models, supplyW, o)
+		w.memo = Result{
+			Fractions:     append(w.memo.Fractions[:0], res.Fractions...),
+			PredictedPerf: res.PredictedPerf,
+			Evaluations:   res.Evaluations,
+		}
+		w.memoOK = true
+		return res, nil
+	}
+	// Opaque Perf (no Coeffs declaration): memoization and tabulation
+	// would be unsound, but the buffer-reusing search is still exact.
+	w.memoOK = false
+	return w.solve(models, supplyW, o), nil
+}
+
+// Invalidate drops the memoized solve; the next call re-searches.
+func (w *Warm) Invalidate() { w.memoOK = false }
+
+// encodeKey serializes everything the search reads into w.keyBuf.
+// Reports false when any model omits Coeffs (Perf not declared pure).
+func (w *Warm) encodeKey(models []GroupModel, supplyW float64, o Options) ([]byte, bool) {
+	for i := range models {
+		if models[i].Coeffs == nil {
+			return nil, false
+		}
+	}
+	key := w.keyBuf[:0]
+	key = binary.LittleEndian.AppendUint64(key, math.Float64bits(supplyW))
+	key = binary.LittleEndian.AppendUint64(key, math.Float64bits(o.GridStep))
+	key = binary.LittleEndian.AppendUint64(key, uint64(o.RefinePasses))
+	key = binary.LittleEndian.AppendUint64(key, uint64(len(models)))
+	for i := range models {
+		m := &models[i]
+		key = binary.LittleEndian.AppendUint64(key, uint64(m.Count))
+		key = binary.LittleEndian.AppendUint64(key, math.Float64bits(m.IdleW))
+		key = binary.LittleEndian.AppendUint64(key, math.Float64bits(m.PeakEffW))
+		key = binary.LittleEndian.AppendUint64(key, uint64(len(m.Coeffs)))
+		for _, c := range m.Coeffs {
+			key = binary.LittleEndian.AppendUint64(key, math.Float64bits(c))
+		}
+	}
+	w.keyBuf = key
+	return key, true
+}
+
+// solve runs the accelerated search. Inputs are already validated and
+// defaulted.
+func (w *Warm) solve(models []GroupModel, supplyW float64, o Options) Result {
+	s := search{models: models, supplyW: supplyW}
+	best := w.gridSearchFast(&s, o.GridStep)
+	best = w.refineInto(&s, best, o.GridStep, o.RefinePasses)
+	fracs := w.trimInto(&s, best.fracs)
+	return Result{
+		Fractions:     append([]float64(nil), fracs...),
+		PredictedPerf: best.perf,
+		Evaluations:   s.evals,
+	}
+}
+
+// groupValue is one group's objective contribution at fraction f —
+// the exact expression the reference objective evaluates per point.
+func groupValue(m *GroupModel, f, supplyW float64) float64 {
+	perServer := f * supplyW / float64(m.Count)
+	return float64(m.Count) * m.Perf(perServer)
+}
+
+// gridSearchFast scans the simplex in the reference row-major order,
+// reading groups 0..n-2 from per-grid-value tables and evaluating the
+// last group (the simplex remainder, not a grid multiple) directly.
+// Accumulation replays the reference objective: total starts at zero
+// and adds group contributions in index order, so every candidate's
+// perf is bit-identical and the first-strict-improvement tie-breaking
+// picks the same point.
+//
+// The last group's scan additionally exploits the GroupModel.Perf
+// clamping contract (exactly 0 below IdleW, constant above PeakEffW)
+// plus the monotone decrease of the residual fraction along a row:
+// each row splits into a constant head (per-server power above the
+// effective peak), a fully-evaluated middle, and a zero tail (below
+// idle). Head and tail reuse the contractually constant value instead
+// of re-invoking Perf, and FP monotonicity of the residual expression
+// makes the segment boundaries exact — every point's total is still
+// the reference's bits.
+func (w *Warm) gridSearchFast(s *search, step float64) candidate {
+	n := len(s.models)
+	steps := int(1/step + 0.5)
+	if cap(w.bestBuf) < n {
+		w.bestBuf = make([]float64, n)
+	}
+	best := candidate{fracs: w.bestBuf[:n], perf: -1}
+	for i := range best.fracs {
+		best.fracs[i] = 0
+	}
+
+	w.fillTables(s, steps, step)
+
+	switch n {
+	case 1:
+		m := &s.models[0]
+		for i := 0; i <= steps; i++ {
+			f0 := float64(i) * step
+			var total float64
+			total += groupValue(m, f0, s.supplyW)
+			s.evals++
+			if total > best.perf {
+				best.perf = total
+				best.fracs[0] = f0
+			}
+		}
+	case 2:
+		t0 := w.tables[0]
+		m1 := &s.models[1]
+		for i := 0; i <= steps; i++ {
+			f0 := float64(i) * step
+			f1 := 1 - f0
+			total := 0.0 + t0[i]
+			total += groupValue(m1, f1, s.supplyW)
+			s.evals++
+			if total > best.perf {
+				best.perf = total
+				best.fracs[0] = f0
+				best.fracs[1] = f1
+			}
+		}
+	case 3:
+		t0, t1 := w.tables[0], w.tables[1]
+		m2 := &s.models[2]
+		c2 := float64(m2.Count)
+		for i := 0; i <= steps; i++ {
+			f0 := float64(i) * step
+			base := 0.0 + t0[i]
+			jMax := steps - i
+			improve := func(j int, total float64) {
+				best.perf = total
+				f1 := float64(j) * step
+				f2 := 1 - f0 - f1
+				if f2 < 0 {
+					f2 = 0
+				}
+				best.fracs[0] = f0
+				best.fracs[1] = f1
+				best.fracs[2] = f2
+			}
+			j := 0
+			// Head: residual power above the effective peak — Perf is
+			// contractually constant there; evaluate it once.
+			var vPeak float64
+			vPeakOK := false
+			for ; j <= jMax; j++ {
+				f2 := 1 - f0 - float64(j)*step
+				if f2 < 0 {
+					f2 = 0
+				}
+				perServer := f2 * s.supplyW / c2
+				if perServer <= m2.PeakEffW {
+					break
+				}
+				if !vPeakOK {
+					vPeak = c2 * m2.Perf(perServer)
+					vPeakOK = true
+				}
+				if total := base + t1[j] + vPeak; total > best.perf {
+					improve(j, total)
+				}
+			}
+			// Middle: inside the projection's validity range.
+			for ; j <= jMax; j++ {
+				f2 := 1 - f0 - float64(j)*step
+				if f2 < 0 {
+					f2 = 0
+				}
+				perServer := f2 * s.supplyW / c2
+				if perServer < m2.IdleW {
+					break
+				}
+				if total := base + t1[j] + c2*m2.Perf(perServer); total > best.perf {
+					improve(j, total)
+				}
+			}
+			// Tail: residual below idle — Perf is contractually zero.
+			for ; j <= jMax; j++ {
+				if total := base + t1[j] + 0.0; total > best.perf {
+					improve(j, total)
+				}
+			}
+			s.evals += jMax + 1
+		}
+	}
+	return best
+}
+
+// fillTables precomputes groups 0..n-2's contributions at every grid
+// value, reusing one backing buffer across calls.
+func (w *Warm) fillTables(s *search, steps int, step float64) {
+	n := len(s.models)
+	tabled := n - 1
+	need := tabled * (steps + 1)
+	if cap(w.tableBuf) < need {
+		w.tableBuf = make([]float64, need)
+	}
+	if cap(w.tables) < tabled {
+		w.tables = make([][]float64, tabled)
+	}
+	w.tables = w.tables[:tabled]
+	for g := 0; g < tabled; g++ {
+		tbl := w.tableBuf[g*(steps+1) : (g+1)*(steps+1)]
+		m := &s.models[g]
+		for i := 0; i <= steps; i++ {
+			tbl[i] = groupValue(m, float64(i)*step, s.supplyW)
+		}
+		w.tables[g] = tbl
+	}
+}
+
+// refineInto is the reference refine with the pass-local fraction
+// vector taken from reused scratch instead of a per-call allocation.
+// The arithmetic, iteration order, and acceptance rule are identical.
+func (w *Warm) refineInto(s *search, c candidate, step float64, passes int) candidate {
+	n := len(s.models)
+	if n == 1 {
+		return c
+	}
+	if cap(w.refineFr) < n {
+		w.refineFr = make([]float64, n)
+	}
+	fr := w.refineFr[:n]
+	copy(fr, c.fracs)
+	for pass := 0; pass < passes; pass++ {
+		step /= 2
+		improved := true
+		for iter := 0; improved && iter < 20; iter++ {
+			improved = false
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					d := step
+					if fr[j] < d {
+						d = fr[j]
+					}
+					if d <= 0 || fr[i]+d > 1 {
+						continue
+					}
+					fr[i] += d
+					fr[j] -= d
+					if p := s.objective(fr); p > c.perf {
+						c.perf = p
+						copy(c.fracs, fr)
+						improved = true
+					} else {
+						fr[i] -= d
+						fr[j] += d
+					}
+				}
+			}
+		}
+		copy(fr, c.fracs)
+	}
+	return c
+}
+
+// trimInto is the reference trim writing into reused scratch.
+func (w *Warm) trimInto(s *search, fracs []float64) []float64 {
+	if cap(w.trimmed) < len(fracs) {
+		w.trimmed = make([]float64, len(fracs))
+	}
+	out := w.trimmed[:len(fracs)]
+	copy(out, fracs)
+	for i := range s.models {
+		m := &s.models[i]
+		maxUseful := float64(m.Count) * m.PeakEffW / s.supplyW
+		if out[i] > maxUseful {
+			out[i] = maxUseful
+		}
+		perServer := out[i] * s.supplyW / float64(m.Count)
+		if perServer < m.IdleW {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

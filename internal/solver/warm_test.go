@@ -1,0 +1,327 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greenhetero/internal/server"
+	"greenhetero/internal/workload"
+)
+
+// resultsBitEqual asserts two solver results match bit for bit —
+// fractions, predicted perf, and evaluation counts alike (the ablation
+// tables print Evaluations, so even that must not drift).
+func resultsBitEqual(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Evaluations != want.Evaluations {
+		t.Fatalf("%s: evaluations %d, want %d", label, got.Evaluations, want.Evaluations)
+	}
+	if math.Float64bits(got.PredictedPerf) != math.Float64bits(want.PredictedPerf) {
+		t.Fatalf("%s: perf %v (%#x), want %v (%#x)", label,
+			got.PredictedPerf, math.Float64bits(got.PredictedPerf),
+			want.PredictedPerf, math.Float64bits(want.PredictedPerf))
+	}
+	if len(got.Fractions) != len(want.Fractions) {
+		t.Fatalf("%s: %d fractions, want %d", label, len(got.Fractions), len(want.Fractions))
+	}
+	for i := range got.Fractions {
+		if math.Float64bits(got.Fractions[i]) != math.Float64bits(want.Fractions[i]) {
+			t.Fatalf("%s: fraction %d = %v (%#x), want %v (%#x)", label, i,
+				got.Fractions[i], math.Float64bits(got.Fractions[i]),
+				want.Fractions[i], math.Float64bits(want.Fractions[i]))
+		}
+	}
+}
+
+// curveModel builds a GroupModel whose Perf is the profiledb-style
+// clamped polynomial of coeffs — with the Coeffs declaration that
+// unlocks the warm path's memoization and grid tables.
+func curveModel(count int, idleW, peakEffW float64, coeffs []float64) GroupModel {
+	perf := func(p float64) float64 {
+		if p < idleW {
+			return 0
+		}
+		if p > peakEffW {
+			p = peakEffW
+		}
+		var v float64
+		for i := len(coeffs) - 1; i >= 0; i-- {
+			v = v*p + coeffs[i]
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return GroupModel{Count: count, IdleW: idleW, PeakEffW: peakEffW, Perf: perf, Coeffs: coeffs}
+}
+
+// TestWarmMatchesOptimizeFixtures replays the package's standing
+// fixtures (the paper's case study, trim, starvation, and three-group
+// scenarios) through a shared Warm across varied options, asserting
+// bit-identity with the cold reference solve every time.
+func TestWarmMatchesOptimizeFixtures(t *testing.T) {
+	fixtures := []struct {
+		name   string
+		models []GroupModel
+		supply float64
+	}{
+		{"case-study", []GroupModel{
+			truthModel(t, server.XeonE52620, workload.SPECjbb, 1),
+			truthModel(t, server.CoreI54460, workload.SPECjbb, 1),
+		}, 220},
+		{"single-group", []GroupModel{
+			truthModel(t, server.XeonE52620, workload.SPECjbb, 4),
+		}, 500},
+		{"three-groups", []GroupModel{
+			truthModel(t, server.XeonE52620, workload.SPECjbb, 2),
+			truthModel(t, server.XeonE52603, workload.SPECjbb, 2),
+			truthModel(t, server.CoreI54460, workload.SPECjbb, 2),
+		}, 600},
+		{"surplus", []GroupModel{
+			truthModel(t, server.CoreI54460, workload.SPECjbb, 1),
+			truthModel(t, server.XeonE52620, workload.SPECjbb, 1),
+		}, 2000},
+		{"scarcity", []GroupModel{
+			truthModel(t, server.XeonE52620, workload.SPECjbb, 3),
+			truthModel(t, server.CoreI54460, workload.SPECjbb, 3),
+		}, 90},
+		{"curve-models", []GroupModel{
+			curveModel(2, 35, 95, []float64{-40, 5.5, -0.012}),
+			curveModel(3, 25, 70, []float64{-10, 3.2, -0.008}),
+			curveModel(1, 45, 130, []float64{-80, 6.1, -0.015}),
+		}, 700},
+	}
+	optSet := []Options{
+		{},
+		{GridStep: 0.1},
+		{GridStep: 0.05, RefinePasses: 1},
+		{GridStep: 0.02, RefinePasses: 5},
+		{GridStep: 0.01, RefinePasses: -3}, // negative → no refinement
+	}
+	var w Warm
+	for _, fx := range fixtures {
+		for _, o := range optSet {
+			want, err := Optimize(fx.models, fx.supply, o)
+			if err != nil {
+				t.Fatalf("%s: reference: %v", fx.name, err)
+			}
+			got, err := w.Optimize(fx.models, fx.supply, o)
+			if err != nil {
+				t.Fatalf("%s: warm: %v", fx.name, err)
+			}
+			resultsBitEqual(t, fx.name, got, want)
+		}
+	}
+	// Errors are shared with the reference validator.
+	if _, err := w.Optimize(nil, 100, Options{}); err != ErrNoGroups {
+		t.Fatalf("warm validation: %v, want ErrNoGroups", err)
+	}
+}
+
+// TestWarmMatchesOptimizeRandom drives 1000 seeded random model sets
+// (mixed group counts, curve shapes, supplies, grids, refinement
+// depths, and Coeffs declarations) through one shared Warm, asserting
+// bit-identity with the cold solve on every draw — buffer reuse across
+// changing shapes must never leak state between solves.
+func TestWarmMatchesOptimizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gridSteps := []float64{0.1, 0.05, 0.02, 0.02, 0.05, 0.1, 0.25, 0.01}
+	var w Warm
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.Intn(3)
+		models := make([]GroupModel, n)
+		for g := range models {
+			idle := 15 + 40*rng.Float64()
+			peak := idle + 20 + 150*rng.Float64()
+			coeffs := []float64{
+				-60 + 80*rng.Float64(),
+				0.5 + 6*rng.Float64(),
+				-0.02 * rng.Float64(),
+			}
+			models[g] = curveModel(1+rng.Intn(10), idle, peak, coeffs)
+			if rng.Intn(4) == 0 {
+				// Opaque model: same Perf, no purity declaration —
+				// forces the non-memoized path for this whole set.
+				models[g].Coeffs = nil
+			}
+		}
+		supply := 50 + 2500*rng.Float64()
+		o := Options{
+			GridStep:     gridSteps[rng.Intn(len(gridSteps))],
+			RefinePasses: rng.Intn(5),
+		}
+		want, err := Optimize(models, supply, o)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		got, err := w.Optimize(models, supply, o)
+		if err != nil {
+			t.Fatalf("trial %d: warm: %v", trial, err)
+		}
+		resultsBitEqual(t, "random trial", got, want)
+	}
+}
+
+// TestWarmMemoization checks the cache behavior directly: an unchanged
+// declared-pure input re-solves nothing (zero Perf calls) yet returns
+// the identical result with a caller-owned fraction slice, and any
+// field change — supply, options, a coefficient — forces a fresh solve.
+func TestWarmMemoization(t *testing.T) {
+	var calls int
+	coeffs := []float64{-40, 5.5, -0.012}
+	m := curveModel(2, 35, 95, coeffs)
+	inner := m.Perf
+	m.Perf = func(p float64) float64 { calls++; return inner(p) }
+	m2 := curveModel(3, 25, 70, []float64{-10, 3.2, -0.008})
+	models := []GroupModel{m, m2}
+
+	var w Warm
+	first, err := w.Optimize(models, 400, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("cold solve made no Perf calls")
+	}
+
+	calls = 0
+	second, err := w.Optimize(models, 400, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("memoized solve made %d Perf calls, want 0", calls)
+	}
+	resultsBitEqual(t, "memo hit", second, first)
+	// The returned fractions are caller-owned: scribbling on them must
+	// not corrupt the cache.
+	second.Fractions[0] = -1
+	third, err := w.Optimize(models, 400, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsBitEqual(t, "memo hit after caller mutation", third, first)
+
+	// Any input change misses: supply…
+	calls = 0
+	if _, err := w.Optimize(models, 401, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("changed supply still hit the memo")
+	}
+	// …options…
+	calls = 0
+	if _, err := w.Optimize(models, 401, Options{RefinePasses: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("changed options still hit the memo")
+	}
+	// …and a single coefficient bit (a profiledb refit).
+	calls = 0
+	coeffs[1] = math.Nextafter(coeffs[1], 2*coeffs[1])
+	if _, err := w.Optimize(models, 401, Options{RefinePasses: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("changed coefficient still hit the memo")
+	}
+
+	// Invalidate drops the cache explicitly.
+	calls = 0
+	w.Invalidate()
+	if _, err := w.Optimize(models, 401, Options{RefinePasses: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("Invalidate did not force a re-solve")
+	}
+
+	// Opaque models (no Coeffs) are never memoized.
+	models[0].Coeffs = nil
+	if _, err := w.Optimize(models, 500, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	calls = 0
+	if _, err := w.Optimize(models, 500, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("opaque model set was memoized")
+	}
+}
+
+// TestTrimEdgeCases exercises search.trim degeneracies directly: a
+// single group over its useful maximum, a supply so scarce every
+// nonzero fraction still leaves servers below idle (all zeroed), and
+// the zero vector fixed point.
+func TestTrimEdgeCases(t *testing.T) {
+	one := []GroupModel{curveModel(2, 30, 80, []float64{0, 3, 0})}
+	s := &search{models: one, supplyW: 1000}
+	got := s.trim([]float64{1})
+	// maxUseful = 2·80/1000 = 0.16.
+	if want := 2 * 80.0 / 1000; got[0] != want {
+		t.Fatalf("single-group trim = %v, want %v", got[0], want)
+	}
+
+	// Scarcity: 1 % of 100 W is 0.5 W per server, far below 30 W idle —
+	// every fraction collapses to zero.
+	s = &search{models: []GroupModel{
+		curveModel(2, 30, 80, []float64{0, 3, 0}),
+		curveModel(1, 30, 80, []float64{0, 3, 0}),
+	}, supplyW: 100}
+	got = s.trim([]float64{0.01, 0.2})
+	if got[0] != 0 {
+		t.Fatalf("below-idle fraction survived trim: %v", got)
+	}
+	// 0.2·100 = 20 W < 30 W idle for the single-server group too.
+	if got[1] != 0 {
+		t.Fatalf("below-idle fraction survived trim: %v", got)
+	}
+
+	got = s.trim([]float64{0, 0})
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("zero vector not a trim fixed point: %v", got)
+	}
+
+	// The warm trim matches on the same edges.
+	var w Warm
+	if wgot := w.trimInto(s, []float64{0.01, 0.2}); wgot[0] != 0 || wgot[1] != 0 {
+		t.Fatalf("warm trim diverged: %v", wgot)
+	}
+}
+
+// TestRefineEdgeCases pins search.refine degeneracies: a single group
+// returns untouched without evaluating anything, and a step that
+// underflows to zero when halved makes every perturbation a no-op.
+func TestRefineEdgeCases(t *testing.T) {
+	one := []GroupModel{curveModel(2, 30, 80, []float64{0, 3, 0})}
+	s := &search{models: one, supplyW: 200}
+	c := candidate{fracs: []float64{0.5}, perf: 123}
+	got := s.refine(c, 0.01, 3)
+	if got.perf != 123 || got.fracs[0] != 0.5 || s.evals != 0 {
+		t.Fatalf("single-group refine changed the candidate: %+v evals %d", got, s.evals)
+	}
+
+	// Smallest denormal: step/2 underflows to 0, so d ≤ 0 on every pair
+	// and no objective is ever evaluated.
+	two := []GroupModel{
+		curveModel(1, 30, 80, []float64{0, 3, 0}),
+		curveModel(1, 30, 80, []float64{0, 3, 0}),
+	}
+	s = &search{models: two, supplyW: 200}
+	c = candidate{fracs: []float64{0.5, 0.5}, perf: 77}
+	got = s.refine(c, math.SmallestNonzeroFloat64, 4)
+	if got.perf != 77 || s.evals != 0 {
+		t.Fatalf("underflowed refine still evaluated: %+v evals %d", got, s.evals)
+	}
+	var w Warm
+	s2 := &search{models: two, supplyW: 200}
+	wgot := w.refineInto(s2, candidate{fracs: []float64{0.5, 0.5}, perf: 77}, math.SmallestNonzeroFloat64, 4)
+	if wgot.perf != 77 || s2.evals != 0 {
+		t.Fatalf("warm underflowed refine diverged: %+v evals %d", wgot, s2.evals)
+	}
+}
