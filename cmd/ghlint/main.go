@@ -1,10 +1,11 @@
 // Command ghlint runs the repository's domain-aware static-analysis
 // suite (internal/lint): the statement-local analyzers (determinism,
-// seedflow, unitsafety, floateq) and the flow-sensitive concurrency
-// analyzers (guardedby, goleak, deferclose). It is the mechanical
+// seedflow, unitsafety, floateq), the flow-sensitive concurrency
+// analyzers (guardedby, goleak, deferclose), and the interprocedural
+// call-graph analyzers (allocfree, dettaint). It is the mechanical
 // guardian of the invariants the simulator's bit-identical
-// serial-vs-parallel proof — and the daemon's lock discipline — depend
-// on.
+// serial-vs-parallel proof — the daemon's lock discipline, and the
+// epoch hot path's zero-alloc contract — depend on.
 //
 // Usage:
 //
@@ -12,15 +13,25 @@
 //	go run ./cmd/ghlint ./internal/sim    # one package
 //	go run ./cmd/ghlint -analyzers floateq,unitsafety ./...
 //	go run ./cmd/ghlint -json ./...       # machine-readable findings
+//	go run ./cmd/ghlint -sarif ./...      # SARIF 2.1.0 for code scanning
 //	go run ./cmd/ghlint -list             # describe the analyzers
 //
 // Exit status: 0 clean, 1 findings reported, 2 usage or load error.
+//
+// All loaded packages are analyzed as one program: the interprocedural
+// analyzers resolve calls across package boundaries, so linting a
+// single package sees less than linting ./... does.
 //
 // -json emits a sorted JSON array of every finding *including
 // suppressed ones* (marked with "suppressed": true), so a CI artifact
 // can expose suppression churn per PR; the exit status still counts
 // only unsuppressed findings. The output is byte-stable for a given
 // tree: same source in, same bytes out.
+//
+// -sarif emits the same findings as a SARIF 2.1.0 log, the format
+// GitHub code scanning ingests to render findings as PR annotations.
+// Suppressed findings carry an inSource suppression object, which code
+// scanning honors. Byte-stability matches -json.
 //
 // Findings are suppressed line-by-line with a reasoned directive the
 // driver verifies:
@@ -53,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		analyzerCSV = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		list        = fs.Bool("list", false, "list the analyzers and exit")
 		jsonOut     = fs.Bool("json", false, "emit findings as a sorted JSON array (suppressed findings included and marked)")
+		sarifOut    = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log for GitHub code scanning")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ghlint [flags] [packages]\n\n"+
@@ -64,6 +76,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(stderr, "ghlint: -json and -sarif are mutually exclusive\n")
+		return 2
+	}
 	analyzers, err := selectAnalyzers(*analyzerCSV)
 	if err != nil {
 		fmt.Fprintf(stderr, "ghlint: %v\n", err)
@@ -82,6 +98,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// One program over every loaded package: the interprocedural
+	// analyzers (allocfree, dettaint) resolve cross-package call edges
+	// through it.
+	prog := lint.BuildProgram(pkgs)
+
 	findings := 0
 	jdiags := []jsonDiagnostic{}
 	for _, pkg := range pkgs {
@@ -90,8 +111,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// loudly but keep analyzing what did check.
 			fmt.Fprintf(stderr, "ghlint: %s: type error: %v\n", pkg.Path, terr)
 		}
-		if *jsonOut {
-			for _, d := range lint.RunPackageAll(pkg, analyzers) {
+		if *jsonOut || *sarifOut {
+			for _, d := range lint.RunProgramPackageAll(prog, pkg, analyzers) {
 				pos := pkg.Fset.Position(d.Pos)
 				jdiags = append(jdiags, jsonDiagnostic{
 					File:       relPos(pos.Filename),
@@ -107,15 +128,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			continue
 		}
-		for _, d := range lint.RunPackage(pkg, analyzers) {
+		for _, d := range lint.RunProgramPackage(prog, pkg, analyzers) {
 			pos := pkg.Fset.Position(d.Pos)
 			fmt.Fprintf(stdout, "%s: [%s] %s\n", relPos(pos.String()), d.Analyzer, d.Message)
 			findings++
 		}
 	}
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		if err := writeJSON(stdout, jdiags); err != nil {
 			fmt.Fprintf(stderr, "ghlint: encoding findings: %v\n", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := writeSARIF(stdout, analyzers, jdiags); err != nil {
+			fmt.Fprintf(stderr, "ghlint: encoding SARIF: %v\n", err)
 			return 2
 		}
 	}
@@ -160,6 +187,133 @@ func writeJSON(w io.Writer, diags []jsonDiagnostic) error {
 		return a.Message < b.Message
 	})
 	out, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", out)
+	return err
+}
+
+// SARIF 2.1.0 output. The structs cover exactly the subset GitHub code
+// scanning reads: one run, one driver with a rule per analyzer, one
+// result per finding with a physical location, and inSource
+// suppression objects for directive-silenced findings (code scanning
+// hides those instead of re-annotating reviewed suppressions).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+// writeSARIF emits the findings as one SARIF 2.1.0 log. Ordering
+// reuses the -json sort, so the bytes are a pure function of the
+// analyzed source.
+func writeSARIF(w io.Writer, analyzers []*lint.Analyzer, diags []jsonDiagnostic) error {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	// Driver-level findings (malformed directives) report under the
+	// pseudo-analyzer "ghlint".
+	rules = append(rules, sarifRule{ID: "ghlint", ShortDescription: sarifMessage{
+		Text: "driver-level findings: malformed suppression directives",
+	}})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		r := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(d.File)},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			}}},
+		}
+		if d.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "inSource"}}
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "ghlint", InformationURI: "https://github.com/greenhetero", Rules: rules}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"greenhetero/internal/lint"
 )
 
 // chdirRepoRoot moves the test into the module root so package patterns
@@ -60,7 +62,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, stderr.String())
 	}
-	for _, name := range []string{"determinism", "seedflow", "unitsafety", "floateq", "guardedby", "goleak", "deferclose"} {
+	for _, name := range []string{"determinism", "seedflow", "unitsafety", "floateq", "guardedby", "goleak", "deferclose", "allocfree", "dettaint"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
 		}
@@ -125,6 +127,110 @@ func TestRunJSONEmptyIsArray(t *testing.T) {
 	}
 	if got := strings.TrimSpace(stdout.String()); got != "[]" {
 		t.Errorf("clean package -json output = %q, want \"[]\"", got)
+	}
+}
+
+// TestRunSARIFStableAndSuppressed pins the -sarif contract on the same
+// package -json is pinned on: valid SARIF 2.1.0 shape, a rule per
+// analyzer plus the "ghlint" pseudo-rule, an inSource suppression
+// object on the runner's silenced determinism finding, exit 0, and
+// byte-identical output across two runs.
+func TestRunSARIFStableAndSuppressed(t *testing.T) {
+	chdirRepoRoot(t)
+	var out1, out2, stderr bytes.Buffer
+	if code := run([]string{"-sarif", "./internal/runner"}, &out1, &stderr); code != 0 {
+		t.Fatalf("run(-sarif ./internal/runner) = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-sarif", "./internal/runner"}, &out2, &stderr); code != 0 {
+		t.Fatalf("second run(-sarif ./internal/runner) = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Errorf("-sarif output is not byte-stable across runs:\n--- first\n%s\n--- second\n%s", out1.String(), out2.String())
+	}
+
+	var log sarifLog
+	if err := json.Unmarshal(out1.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, out1.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("sarif $schema = %q, want a 2.1.0 schema URI", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("sarif log has %d runs, want 1", len(log.Runs))
+	}
+	sr := log.Runs[0]
+	if sr.Tool.Driver.Name != "ghlint" {
+		t.Errorf("sarif driver name = %q, want ghlint", sr.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool, len(sr.Tool.Driver.Rules))
+	for _, r := range sr.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, name := range append(lint.AnalyzerNames(), "ghlint") {
+		if !ruleIDs[name] {
+			t.Errorf("sarif rules missing %q (have %v)", name, ruleIDs)
+		}
+	}
+	foundSuppressed := false
+	for _, r := range sr.Results {
+		if r.RuleID == "" || len(r.Locations) == 0 {
+			t.Errorf("sarif result missing ruleId or location: %+v", r)
+			continue
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if len(r.Suppressions) > 0 && r.RuleID == "determinism" &&
+			strings.HasPrefix(loc.ArtifactLocation.URI, "internal/runner") &&
+			r.Suppressions[0].Kind == "inSource" {
+			foundSuppressed = true
+		}
+		if len(r.Suppressions) == 0 {
+			t.Errorf("unexpected live finding in -sarif output: %+v", r)
+		}
+	}
+	if !foundSuppressed {
+		t.Errorf("-sarif output missing the inSource-suppressed runner finding:\n%s", out1.String())
+	}
+}
+
+// TestRunSARIFCleanPackage pins the empty-tree shape: a clean package
+// still yields one run with the full rule table and an empty (non-null)
+// results array, so code scanning can always ingest the artifact.
+func TestRunSARIFCleanPackage(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sarif", "./internal/fit"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-sarif ./internal/fit) = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("sarif log has %d runs, want 1", len(log.Runs))
+	}
+	if log.Runs[0].Results == nil {
+		t.Errorf("clean package -sarif results is null, want an empty array:\n%s", stdout.String())
+	}
+	if n := len(log.Runs[0].Results); n != 0 {
+		t.Errorf("clean package -sarif has %d results, want 0", n)
+	}
+}
+
+// TestRunJSONSarifExclusive pins that the two machine formats cannot be
+// combined: asking for both is a usage error, not a silent preference.
+func TestRunJSONSarifExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-sarif", "./internal/fit"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-json -sarif) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("usage error produced stdout output: %s", stdout.String())
 	}
 }
 

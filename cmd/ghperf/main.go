@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -92,7 +93,9 @@ func main() {
 	}
 }
 
-func run(args []string, stdout *os.File) error {
+// run is the testable driver body: flags in, report (text or JSON) out,
+// error when a flag is invalid, a scenario fails, or the gate trips.
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ghperf", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "run only the short scenarios (CI-sized)")
 	seed := fs.Int64("seed", 7, "measurement noise seed")
@@ -231,7 +234,7 @@ func runScenario(sc scenario, seed int64, epochsOverride int) (ScenarioResult, e
 // by scenario name, and fails on an epochs/sec regression beyond
 // GateTolerance. Scenarios missing from either side are skipped (the
 // baseline may carry full-run entries a -quick gate run never produces).
-func checkGate(rep Report, path string, stdout *os.File) error {
+func checkGate(rep Report, path string, stdout io.Writer) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("gate baseline: %w", err)

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleReport builds a two-scenario report for the marshaling and gate
+// tests. EpochsPerSec values are chosen so tolerance arithmetic is easy
+// to read: the gate tolerance is 15%, so 1000 → 860 must trip it and
+// 1000 → 900 must not.
+func sampleReport(comb1, comb5 float64) Report {
+	return Report{
+		Schema:    Schema,
+		Seed:      7,
+		GoVersion: "go1.22",
+		Scenarios: []ScenarioResult{
+			{Name: "quick-4d-comb1", Epochs: 384, EpochsPerSec: comb1,
+				NsPerEpochP50: 1200, NsPerEpochP99: 5000, AllocsPerEpoch: 3.5, BytesPerEpoch: 512},
+			{Name: "quick-4d-comb5", Epochs: 384, EpochsPerSec: comb5,
+				NsPerEpochP50: 1800, NsPerEpochP99: 7000, AllocsPerEpoch: 4.0, BytesPerEpoch: 640},
+		},
+	}
+}
+
+// writeBaseline commits rep as a gate baseline file and returns its path.
+func writeBaseline(t *testing.T, rep Report) string {
+	t.Helper()
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReportRoundTrip pins the JSON contract of the benchmark
+// trajectory: the committed BENCH_PR<n>.json baselines must stay
+// readable, so the field names and the schema tag are load-bearing.
+func TestReportRoundTrip(t *testing.T) {
+	rep := sampleReport(1000, 2000)
+	doc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(doc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || back.Seed != rep.Seed || len(back.Scenarios) != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Scenarios[0] != rep.Scenarios[0] || back.Scenarios[1] != rep.Scenarios[1] {
+		t.Fatalf("round trip changed scenarios: %+v", back.Scenarios)
+	}
+
+	// The wire names are the cross-PR contract; renaming a Go field must
+	// not silently rename the JSON key old baselines use.
+	var raw map[string]any
+	if err := json.Unmarshal(doc, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "seed", "goVersion", "scenarios"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("report JSON missing key %q: %s", key, doc)
+		}
+	}
+	var rawScen []map[string]any
+	scenDoc, _ := json.Marshal(rep.Scenarios)
+	if err := json.Unmarshal(scenDoc, &rawScen); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "epochs", "epochsPerSec", "nsPerEpochP50", "nsPerEpochP99", "allocsPerEpoch", "bytesPerEpoch"} {
+		if _, ok := rawScen[0][key]; !ok {
+			t.Errorf("scenario JSON missing key %q: %s", key, scenDoc)
+		}
+	}
+}
+
+func TestCheckGateWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, sampleReport(1000, 2000))
+	// 10% down on one scenario, 5% up on the other: both inside the 15%
+	// tolerance band, so the gate passes and labels both "ok".
+	var out bytes.Buffer
+	if err := checkGate(sampleReport(900, 2100), base, &out); err != nil {
+		t.Fatalf("checkGate within tolerance failed: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("gate output flags a regression inside tolerance:\n%s", out.String())
+	}
+	if got := strings.Count(out.String(), "ok"); got != 2 {
+		t.Errorf("gate output has %d ok lines, want 2:\n%s", got, out.String())
+	}
+}
+
+func TestCheckGateRegression(t *testing.T) {
+	base := writeBaseline(t, sampleReport(1000, 2000))
+	// 860/1000 = -14% is fine; 1600/2000 = -20% trips the 15% gate.
+	var out bytes.Buffer
+	err := checkGate(sampleReport(860, 1600), base, &out)
+	if err == nil {
+		t.Fatalf("checkGate missed a 20%% regression:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("gate error %q does not name the regression", err)
+	}
+	if got := strings.Count(out.String(), "REGRESSION"); got != 1 {
+		t.Errorf("gate output flags %d regressions, want exactly 1 (comb5):\n%s", got, out.String())
+	}
+}
+
+// TestCheckGateSkipsUnmatched pins the quick-vs-full matching rule: the
+// baseline may hold year-long entries a -quick run never produces, and a
+// new scenario may not be in the baseline yet; both sides are skipped
+// rather than failed.
+func TestCheckGateSkipsUnmatched(t *testing.T) {
+	baseRep := sampleReport(1000, 2000)
+	baseRep.Scenarios = append(baseRep.Scenarios, ScenarioResult{Name: "year-comb1", EpochsPerSec: 500})
+	base := writeBaseline(t, baseRep)
+
+	got := sampleReport(950, 1900)
+	got.Scenarios = append(got.Scenarios, ScenarioResult{Name: "quick-new-scenario", EpochsPerSec: 100})
+	var out bytes.Buffer
+	if err := checkGate(got, base, &out); err != nil {
+		t.Fatalf("checkGate failed on unmatched scenarios: %v\n%s", err, out.String())
+	}
+	for _, absent := range []string{"year-comb1", "quick-new-scenario"} {
+		if strings.Contains(out.String(), absent) {
+			t.Errorf("gate output mentions unmatched scenario %q:\n%s", absent, out.String())
+		}
+	}
+}
+
+func TestCheckGateBadBaseline(t *testing.T) {
+	var out bytes.Buffer
+	if err := checkGate(sampleReport(1000, 2000), filepath.Join(t.TempDir(), "missing.json"), &out); err == nil {
+		t.Error("checkGate accepted a missing baseline file")
+	}
+
+	wrong := sampleReport(1000, 2000)
+	wrong.Schema = "some-other-tool/v9"
+	path := writeBaseline(t, wrong)
+	err := checkGate(sampleReport(1000, 2000), path, &out)
+	if err == nil {
+		t.Fatal("checkGate accepted a baseline with a foreign schema")
+	}
+	if !strings.Contains(err.Error(), "schema") {
+		t.Errorf("schema mismatch error %q does not name the schema", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nosuchflag"}, &out); err == nil {
+		t.Error("run accepted an unknown flag")
+	}
+	if err := run([]string{"-epochs", "banana"}, &out); err == nil {
+		t.Error("run accepted a non-integer -epochs")
+	}
+}
+
+// TestRunQuickJSON drives the full path end to end at a tiny epoch
+// count: two quick scenarios, JSON to stdout, the same bytes to -out,
+// and a gate comparison against the run's own numbers scaled down 10×
+// (a 10× headroom cannot be erased by 3-epoch timing jitter, so the
+// gate must pass deterministically).
+func TestRunQuickJSON(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-quick", "-epochs", "3", "-json", "-out", outFile}, &stdout); err != nil {
+		t.Fatalf("run(-quick -epochs 3 -json): %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Schema != Schema {
+		t.Errorf("report schema = %q, want %q", rep.Schema, Schema)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("quick run produced %d scenarios, want 2", len(rep.Scenarios))
+	}
+	for _, s := range rep.Scenarios {
+		if s.Epochs != 3 {
+			t.Errorf("%s ran %d epochs, want the -epochs override of 3", s.Name, s.Epochs)
+		}
+		if s.EpochsPerSec <= 0 {
+			t.Errorf("%s reports %v epochs/sec, want > 0", s.Name, s.EpochsPerSec)
+		}
+	}
+	onDisk, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, stdout.Bytes()) {
+		t.Errorf("-out file differs from -json stdout")
+	}
+
+	slow := rep
+	slow.Scenarios = append([]ScenarioResult(nil), rep.Scenarios...)
+	for i := range slow.Scenarios {
+		slow.Scenarios[i].EpochsPerSec *= 0.1
+	}
+	slowFile := writeBaseline(t, slow)
+	var gateOut bytes.Buffer
+	if err := run([]string{"-quick", "-epochs", "3", "-gate", slowFile}, &gateOut); err != nil {
+		t.Fatalf("gate run against slowed baseline failed: %v\n%s", err, gateOut.String())
+	}
+	if got := strings.Count(gateOut.String(), "gate "); got != 2 {
+		t.Errorf("gate run compared %d scenarios, want 2:\n%s", got, gateOut.String())
+	}
+}

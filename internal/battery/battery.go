@@ -110,10 +110,14 @@ func (b *Bank) Config() Config { return b.cfg }
 func (b *Bank) ChargeWh() float64 { return b.chargeWh }
 
 // SoC reports the state of charge in [0, 1].
+//
+// ghlint:allocfree
 func (b *Bank) SoC() float64 { return b.chargeWh / b.cfg.CapacityWh }
 
 // AtDoD reports whether the bank has drained to its DoD floor and can no
 // longer discharge.
+//
+// ghlint:allocfree
 func (b *Bank) AtDoD() bool { return b.chargeWh <= b.floorWh+1e-9 }
 
 // Full reports whether the bank is at nameplate capacity.
@@ -132,6 +136,8 @@ func (b *Bank) Totals() (dischargedWh, chargedWh, gridChargedWh float64) {
 // AvailableDischargeW returns the maximum power the bank can sustain for
 // the given duration without crossing the DoD floor (and within the
 // discharge cap).
+//
+// ghlint:allocfree
 func (b *Bank) AvailableDischargeW(d time.Duration) float64 {
 	if d <= 0 {
 		return 0
@@ -149,6 +155,8 @@ func (b *Bank) AvailableDischargeW(d time.Duration) float64 {
 
 // AcceptableChargeW returns the maximum charging power (pre-efficiency,
 // i.e. power drawn from the source) the bank can absorb for duration d.
+//
+// ghlint:allocfree
 func (b *Bank) AcceptableChargeW(d time.Duration) float64 {
 	if d <= 0 {
 		return 0
@@ -279,6 +287,8 @@ func (s Source) String() string {
 
 // Discharge drains up to requestW for duration d and returns the power
 // actually delivered (limited by the DoD floor and discharge cap).
+//
+// ghlint:allocfree
 func (b *Bank) Discharge(requestW float64, d time.Duration) float64 {
 	if requestW <= 0 || d <= 0 {
 		return 0
@@ -305,6 +315,8 @@ func (b *Bank) Discharge(requestW float64, d time.Duration) float64 {
 // Charge absorbs up to offerW (source-side watts) for duration d from the
 // given source and returns the source power actually consumed. Storage
 // gains offerW × efficiency × hours.
+//
+// ghlint:allocfree
 func (b *Bank) Charge(offerW float64, d time.Duration, src Source) float64 {
 	if offerW <= 0 || d <= 0 {
 		return 0

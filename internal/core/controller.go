@@ -225,11 +225,15 @@ type Observation struct {
 // epoch (the PSC sees it in real time; the *predictors* only consume it
 // at the end of the step, so planning uses forecasts). obsDemandW is the
 // rack demand observed last epoch.
+//
+// ghlint:allocfree
 func (c *Controller) Step(obsRenewableW, obsDemandW float64, w workload.Workload) (Decision, error) {
 	return c.StepObserved(Observation{RenewableW: obsRenewableW, DemandW: obsDemandW}, w)
 }
 
 // StepObserved is Step with explicit observation provenance.
+//
+// ghlint:allocfree
 func (c *Controller) StepObserved(obs Observation, w workload.Workload) (Decision, error) {
 	n := c.cfg.Rack.NumGroups()
 	if cap(c.wsBuf) < n {
@@ -245,11 +249,19 @@ func (c *Controller) StepObserved(obs Observation, w workload.Workload) (Decisio
 // StepMixed is Step for mixed racks: each group runs its own workload
 // (one entry per rack group). Real datacenter racks collocate services;
 // the database keys per (configuration, workload) pair either way.
+//
+// ghlint:allocfree
 func (c *Controller) StepMixed(obsRenewableW, obsDemandW float64, groupWs []workload.Workload) (Decision, error) {
 	return c.StepMixedObserved(Observation{RenewableW: obsRenewableW, DemandW: obsDemandW}, groupWs)
 }
 
 // StepMixedObserved is StepMixed with explicit observation provenance.
+// It is the epoch hot path (every Step variant funnels here) and is
+// under the allocfree contract; the genuinely-cold branches — training
+// runs, Case A demand shares, the zero-supply epoch — carry reasoned
+// suppressions that enumerate the per-epoch allocation budget.
+//
+// ghlint:allocfree
 func (c *Controller) StepMixedObserved(obs Observation, groupWs []workload.Workload) (Decision, error) {
 	obsRenewableW, obsDemandW := obs.RenewableW, obs.DemandW
 	if obsRenewableW < 0 || obsDemandW < 0 {
@@ -272,7 +284,7 @@ func (c *Controller) StepMixedObserved(obs Observation, groupWs []workload.Workl
 	d.PredictedDemandW = c.forecast(c.demand, obsDemandW)
 
 	// 2. Training runs for unprofiled pairs (Algorithm 1 lines 3–5).
-	trained, err := c.ensureProfiled(groupWs)
+	trained, err := c.ensureProfiled(groupWs) //lint:ghlint ignore allocfree training is the cold profiling path, once per new (server, workload) pair
 	if err != nil {
 		return Decision{}, err
 	}
@@ -313,7 +325,7 @@ func (c *Controller) StepMixedObserved(obs Observation, groupWs []workload.Workl
 	switch {
 	case planned.Case == power.CaseA:
 		d.Unconstrained = true
-		d.Fractions = c.demandShares(groupWs)
+		d.Fractions = c.demandShares(groupWs) //lint:ghlint ignore allocfree Case A epochs are unconstrained — no capping runs, so the share vector is off the hot path
 	case predictedSupply > 0:
 		fractions, err := c.allocate(groupWs, predictedSupply)
 		if err != nil {
@@ -321,7 +333,7 @@ func (c *Controller) StepMixedObserved(obs Observation, groupWs []workload.Workl
 		}
 		d.Fractions = fractions
 	default:
-		d.Fractions = make([]float64, c.cfg.Rack.NumGroups())
+		d.Fractions = make([]float64, c.cfg.Rack.NumGroups()) //lint:ghlint ignore allocfree zero-supply epochs are dark-rack cold paths
 	}
 
 	// 5. Enforce with the measured renewable power.
@@ -364,6 +376,8 @@ func (c *Controller) StepMixedObserved(obs Observation, groupWs []workload.Workl
 // forecast returns the smoother's one-step forecast, or the fallback
 // before priming. Negative forecasts (a falling trend extrapolated past
 // zero) clamp to zero.
+//
+// ghlint:allocfree
 func (c *Controller) forecast(h timeseries.Predictor, fallback float64) float64 {
 	v, err := h.Forecast()
 	if err != nil {
@@ -424,6 +438,8 @@ func (c *Controller) demandShares(groupWs []workload.Workload) []float64 {
 }
 
 // allocate asks the policy for the PAR vector.
+//
+// ghlint:allocfree
 func (c *Controller) allocate(groupWs []workload.Workload, supplyW float64) ([]float64, error) {
 	ctx := policy.Context{
 		Groups:         c.groups,
@@ -434,11 +450,11 @@ func (c *Controller) allocate(groupWs []workload.Workload, supplyW float64) ([]f
 		Scratch:        c.scratch,
 	}
 	if c.cfg.TryAllocation != nil {
-		ctx.TryAllocation = func(fracs []float64) (float64, error) {
+		ctx.TryAllocation = func(fracs []float64) (float64, error) { //lint:ghlint ignore allocfree the trial closure exists only for Manual's live probing, never on the solver path
 			return c.cfg.TryAllocation(supplyW, fracs)
 		}
 	}
-	fracs, err := c.cfg.Policy.Allocate(ctx)
+	fracs, err := c.cfg.Policy.Allocate(ctx) //lint:ghlint ignore allocfree policy dispatch: Solver.Allocate is verified; the baseline policies allocate by design
 	if err != nil {
 		return nil, fmt.Errorf("core: allocate: %w", err)
 	}

@@ -44,10 +44,11 @@ type SPC struct{}
 // group i receives fractions[i]·supplyW, split evenly among its servers,
 // and each server is set to the state selected by the paper's linear
 // power→state mapping.
+//
+// ghlint:allocfree
 func (SPC) Instructions(rack *server.Rack, fractions []float64, supplyW float64) ([]Instruction, error) {
-	groups := rack.Groups()
-	if len(fractions) != len(groups) {
-		return nil, fmt.Errorf("%w: %d fractions, %d groups", ErrFractionMismatch, len(fractions), len(groups))
+	if len(fractions) != rack.NumGroups() {
+		return nil, fmt.Errorf("%w: %d fractions, %d groups", ErrFractionMismatch, len(fractions), rack.NumGroups())
 	}
 	var sum float64
 	for i, f := range fractions {
@@ -59,8 +60,9 @@ func (SPC) Instructions(rack *server.Rack, fractions []float64, supplyW float64)
 	if sum > 1+1e-9 {
 		return nil, fmt.Errorf("%w: sum %v > 1", ErrBadFraction, sum)
 	}
-	out := make([]Instruction, len(groups))
-	for i, g := range groups {
+	out := make([]Instruction, len(fractions)) //lint:ghlint ignore allocfree the per-epoch instruction slice is the SPC's one budgeted allocation (callers own it)
+	for i := range out {
+		g := rack.Group(i)
 		perServer := fractions[i] * supplyW / float64(g.Count)
 		out[i] = Instruction{
 			GroupIndex: i,
@@ -108,6 +110,8 @@ func NewPSC(bank *battery.Bank) (*PSC, error) {
 // Apply executes a source plan for one epoch against the live battery,
 // re-capping flows against the bank's actual state. At most one source
 // charges the battery (the plan guarantees it; Apply preserves it).
+//
+// ghlint:allocfree
 func (p *PSC) Apply(plan power.Plan, epoch time.Duration) (Execution, error) {
 	if epoch <= 0 {
 		return Execution{}, fmt.Errorf("enforcer: epoch %v", epoch)

@@ -81,7 +81,7 @@ func AblationSolverGrid(opts Options) (*Table, error) {
 			Count:    g.Count,
 			IdleW:    g.Spec.IdleW,
 			PeakEffW: workload.PeakEffW(g.Spec, w),
-			Perf:     func(p float64) float64 { return workload.Perf(g.Spec, w, p) },
+			Perf:     func(p float64) float64 { return workload.Perf(g.Spec, w, p) }, //lint:ghlint ignore allocfree offline ablation binds a truth-surface closure, not the epoch hot path
 		})
 	}
 	t := &Table{

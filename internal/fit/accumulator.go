@@ -74,6 +74,8 @@ func (a *Accumulator) Degree() int { return a.degree }
 // Append folds one sample into the running sums. It performs exactly
 // the batch loop's per-sample updates (same expressions, same order),
 // which is what makes append-only windows bit-identical to batch fits.
+//
+// ghlint:allocfree
 func (a *Accumulator) Append(s Sample) {
 	xp := 1.0
 	for k := 0; k <= 2*a.degree; k++ {
@@ -87,6 +89,8 @@ func (a *Accumulator) Append(s Sample) {
 }
 
 // Reset clears the sums (the solve buffers are retained).
+//
+// ghlint:allocfree
 func (a *Accumulator) Reset() {
 	for i := range a.pow {
 		a.pow[i] = 0
@@ -100,6 +104,8 @@ func (a *Accumulator) Reset() {
 // ReplaceWindow resets and re-accumulates over window in order — the
 // eviction path (see the type comment for why eviction cannot be O(1)
 // without losing bit-identity).
+//
+// ghlint:allocfree
 func (a *Accumulator) ReplaceWindow(window []Sample) {
 	a.Reset()
 	for _, s := range window {
@@ -113,6 +119,8 @@ func (a *Accumulator) ReplaceWindow(window []Sample) {
 // alias an internal buffer that remains valid until the next successful
 // Fit — callers that retain coefficients across fits must copy them
 // (profiledb's Lookup/Save/Projection all do).
+//
+// ghlint:allocfree
 func (a *Accumulator) Fit(window []Sample, degree int) (Poly, error) {
 	if degree < 1 || degree > a.degree {
 		return Poly{}, ErrBadDegree

@@ -43,6 +43,8 @@ type Poly struct {
 }
 
 // Eval evaluates the polynomial at x using Horner's scheme.
+//
+// ghlint:allocfree
 func (p Poly) Eval(x float64) float64 {
 	var y float64
 	for i := len(p.Coeffs) - 1; i >= 0; i-- {
@@ -52,6 +54,8 @@ func (p Poly) Eval(x float64) float64 {
 }
 
 // Derivative evaluates dy/dx at x.
+//
+// ghlint:allocfree
 func (p Poly) Derivative(x float64) float64 {
 	var y float64
 	for i := len(p.Coeffs) - 1; i >= 1; i-- {
@@ -142,6 +146,8 @@ func Quadratic(samples []Sample) (Poly, error) {
 }
 
 // rSquared computes the coefficient of determination of p on samples.
+//
+// ghlint:allocfree
 func rSquared(samples []Sample, p Poly) float64 {
 	if len(samples) == 0 {
 		return 0
@@ -181,6 +187,8 @@ func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 // solveLinearInto is solveLinear writing the solution into x (len(a)),
 // so hot-path callers (the Accumulator) can reuse buffers. It mutates a
 // and b, and may partially write x before detecting a NaN/Inf solution.
+//
+// ghlint:allocfree
 func solveLinearInto(a [][]float64, b, x []float64) error {
 	n := len(a)
 	for col := 0; col < n; col++ {

@@ -54,6 +54,36 @@ func TestFlowAnalyzersRunEverywhere(t *testing.T) {
 	linttest.Run(t, lint.GuardedbyAnalyzer, "greenhetero/internal/faultnet", "guardedby/daemonrace.go")
 }
 
+// taintutilDep is the shared fixture dependency for the
+// interprocedural suites: a real importable package under testdata/
+// holding a laundered wall-clock chain, an annotated leaf, and an
+// allocating helper.
+var taintutilDep = linttest.Dep{
+	Path:  "greenhetero/internal/lint/testdata/taintutil",
+	Files: []string{"taintutil/taintutil.go"},
+}
+
+// TestAllocfreeFixtures proves the allocfree contract end to end:
+// every allocation-site class, the cold-path exemptions, callee
+// discipline (annotated, whitelisted, cross-package, dynamic), the
+// hidden-allocation regression, and the interface/field contracts.
+func TestAllocfreeFixtures(t *testing.T) {
+	linttest.RunWithDeps(t, lint.AllocfreeAnalyzer, corePath,
+		[]string{"allocfree/allocfree.go", "allocfree/contract.go"},
+		taintutilDep)
+}
+
+// TestDettaintFixtures proves the transitive-determinism pass: a core
+// function laundering time.Now through a helper package is flagged at
+// the frontier call with the full chain named, core→core indirection
+// is not double-reported, clean helpers stay silent, and reasoned
+// suppressions apply.
+func TestDettaintFixtures(t *testing.T) {
+	linttest.RunWithDeps(t, lint.DettaintAnalyzer, corePath,
+		[]string{"dettaint/laundered.go"},
+		taintutilDep)
+}
+
 // TestSuppression pins the directive contract end to end: exact-line,
 // exact-analyzer silencing, and malformed directives reported.
 func TestSuppression(t *testing.T) {

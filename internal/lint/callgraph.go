@@ -1,0 +1,789 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Interprocedural layer: a static call graph over every loaded package,
+// shared by the allocfree and dettaint analyzers.
+//
+// The graph is deliberately modest — it is a lint foundation, not a
+// whole-program optimizer — but each approximation is chosen so the
+// analyzers built on it stay sound for their contract:
+//
+//   - Functions are keyed by symbol string ("pkg.Fn", "pkg.(T).M",
+//     "pkg.Fn$1" for the first function literal inside Fn), never by
+//     types.Object identity. Every package is type-checked in its own
+//     universe, so the *types.Func a caller resolves for an imported
+//     function is a different object from the one the callee's own
+//     check produced; the symbol string is the identity that survives
+//     the universe boundary.
+//   - Direct calls, method calls on concrete receivers, and method
+//     values resolve to static edges.
+//   - Function values are tracked one step: a local variable assigned
+//     exactly once from a function literal, a function reference, or a
+//     method value resolves calls through that variable to the target.
+//     Deeper dataflow (values through fields, slices, channels) is not
+//     chased; such calls become unknown edges.
+//   - Calls through interfaces defined in the analyzed program resolve
+//     by class-hierarchy analysis to every in-program type whose method
+//     set covers the interface's method names (name-based matching —
+//     structural types.Implements cannot compare named types across
+//     type-checker universes). Calls through foreign interfaces
+//     (io.Writer, error) are unknown edges.
+//   - Everything else — calls of computed expressions, foreign
+//     interface dispatch — is a conservative unknown edge that the
+//     analyzers treat per their own contract (allocfree: a finding;
+//     dettaint: documented blind spot).
+type Program struct {
+	// Pkgs are the loaded packages the graph spans, in load order.
+	Pkgs []*Package
+	// Funcs maps symbol key → node for every function declaration and
+	// function literal in Pkgs.
+	Funcs map[string]*FuncNode
+
+	// contractFields marks func-typed struct fields annotated
+	// `// ghlint:allocfree` ("pkg.(Type).Field"): calls through them
+	// are trusted, and every binding to them is a verification
+	// obligation (see allocfree.go).
+	contractFields map[string]token.Pos
+	// contractIfaceMethods marks interface methods annotated
+	// `// ghlint:allocfree` ("pkg.(Iface).Method"): calls through them
+	// are trusted and every in-program implementation must itself be
+	// annotated.
+	contractIfaceMethods map[string]token.Pos
+
+	// methodsByName maps a method name to every in-program concrete
+	// method node with that name, for CHA fan-out.
+	methodsByName map[string][]*FuncNode
+	// methodNames maps a concrete type key ("pkg.T") to its full method
+	// set's names (promoted methods included), for name-based
+	// interface satisfaction.
+	methodNames map[string]map[string]bool
+	// ifaceMethods maps an in-program interface key ("pkg.(Iface)") to
+	// its full method-name list (embedded interfaces flattened).
+	ifaceMethods map[string][]string
+}
+
+// FuncNode is one function declaration or function literal.
+type FuncNode struct {
+	// Key is the node's symbol key (see funcKey / litKey).
+	Key string
+	// Display is the human form used in diagnostics: the key with the
+	// module prefix compressed ("fit.(*Accumulator).Fit").
+	Display string
+	// Pkg is the package the function is declared in.
+	Pkg *Package
+	// Decl is the declaration; nil for function literals.
+	Decl *ast.FuncDecl
+	// Lit is the literal; nil for declarations.
+	Lit *ast.FuncLit
+	// Parent is the enclosing function node for literals.
+	Parent *FuncNode
+	// Allocfree records a `// ghlint:allocfree` annotation on the
+	// declaration's doc comment.
+	Allocfree bool
+	// Calls are the node's outgoing edges, in source order.
+	Calls []CallEdge
+	// Sinks are direct nondeterminism sources named in the body
+	// (time.Now, math/rand globals, ...), in source order.
+	Sinks []SinkUse
+}
+
+// EdgeKind classifies a call edge.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a resolved call to one known function.
+	EdgeStatic EdgeKind = iota
+	// EdgeIface is an interface method call resolved by CHA to every
+	// in-program implementation.
+	EdgeIface
+	// EdgeContract is a call through an allocfree-annotated func-typed
+	// struct field.
+	EdgeContract
+	// EdgeUnknown is a dynamic call the graph cannot resolve.
+	EdgeUnknown
+)
+
+// CallEdge is one call site in a function body.
+type CallEdge struct {
+	// Pos locates the call in the caller's package FileSet.
+	Pos token.Pos
+	// Kind classifies the edge.
+	Kind EdgeKind
+	// Callee is the resolved symbol key for EdgeStatic (the callee may
+	// be outside the program: no Funcs entry) and the field key for
+	// EdgeContract.
+	Callee string
+	// Callees is the CHA fan-out for EdgeIface: the method keys of
+	// every in-program implementation, sorted.
+	Callees []string
+	// CalleePkg and CalleeName describe the callee for messages and
+	// for out-of-program callees (pkg path + bare name). For
+	// EdgeUnknown, CalleeName holds a best-effort description of the
+	// call expression.
+	CalleePkg, CalleeName string
+	// RecvType is the callee's receiver type name, "" for functions.
+	RecvType string
+	// IfaceAnnotated marks an EdgeIface whose interface method carries
+	// the allocfree contract annotation.
+	IfaceAnnotated bool
+}
+
+// SinkUse is one direct nondeterminism source named in a body.
+type SinkUse struct {
+	Pos token.Pos
+	// PkgPath and Name identify the source ("time", "Now").
+	PkgPath, Name string
+	// Reason says why it is nondeterministic.
+	Reason string
+}
+
+// allocfreeMarker is the annotation that puts a function, a func-typed
+// struct field, or an interface method under the allocfree contract.
+const allocfreeMarker = "ghlint:allocfree"
+
+// hasAllocfreeMarker reports whether any comment in the group is the
+// allocfree annotation.
+func hasAllocfreeMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if _, ok := directiveArg(c, allocfreeMarker); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// funcKey builds the symbol key for a (possibly imported) function
+// object: "pkg.Fn" for package-level functions, "pkg.(T).M" for
+// methods, pointer receivers normalized away. Reports false for
+// builtins and objects without a package.
+func funcKey(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if recv := sig.Recv(); recv != nil {
+		name, ok := recvTypeName(recv.Type())
+		if !ok {
+			// Interface-method objects are handled by the CHA path; a
+			// caller asking for their concrete key gets nothing.
+			return "", false
+		}
+		return pkg.Path() + ".(" + name + ")." + fn.Name(), true
+	}
+	return pkg.Path() + "." + fn.Name(), true
+}
+
+// recvTypeName extracts the named receiver type behind an optional
+// pointer. Reports false for interface receivers and anonymous types.
+func recvTypeName(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || types.IsInterface(n) {
+		return "", false
+	}
+	return n.Obj().Name(), true
+}
+
+// displayKey compresses a symbol key for diagnostics:
+// "greenhetero/internal/fit.(Accumulator).Fit" → "fit.(Accumulator).Fit".
+func displayKey(key string) string {
+	if rest, ok := strings.CutPrefix(key, modulePath+"/internal/"); ok {
+		return rest
+	}
+	if rest, ok := strings.CutPrefix(key, modulePath+"/"); ok {
+		return rest
+	}
+	if rest, ok := strings.CutPrefix(key, modulePath+"."); ok {
+		return rest
+	}
+	return key
+}
+
+// BuildProgram constructs the interprocedural view over pkgs. The
+// result is deterministic: node ordering, edge ordering, and CHA
+// fan-outs depend only on the packages' source.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:                 pkgs,
+		Funcs:                make(map[string]*FuncNode),
+		contractFields:       make(map[string]token.Pos),
+		contractIfaceMethods: make(map[string]token.Pos),
+		methodsByName:        make(map[string][]*FuncNode),
+		methodNames:          make(map[string]map[string]bool),
+		ifaceMethods:         make(map[string][]string),
+	}
+
+	// Phase A: declare every function node, collect annotations,
+	// contract fields/interface methods, and concrete method sets.
+	for _, pkg := range pkgs {
+		prog.declarePackage(pkg)
+	}
+	// CHA fan-out lists must not depend on package load order beyond
+	// the stable sort key.
+	for name := range prog.methodsByName {
+		nodes := prog.methodsByName[name]
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Key < nodes[j].Key })
+	}
+
+	// Phase B: resolve call edges and sinks, which may reference nodes
+	// from any package.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if node := prog.nodeForDecl(pkg, fd); node != nil {
+					prog.buildBody(node)
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// declarePackage registers pkg's function declarations, its annotated
+// contract fields and interface methods, and its concrete types'
+// method-name sets.
+func (p *Program) declarePackage(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				key, ok := declKey(pkg, d)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{
+					Key:       key,
+					Display:   displayKey(key),
+					Pkg:       pkg,
+					Decl:      d,
+					Allocfree: hasAllocfreeMarker(d.Doc),
+				}
+				p.Funcs[key] = node
+				if d.Recv != nil {
+					p.methodsByName[d.Name.Name] = append(p.methodsByName[d.Name.Name], node)
+				}
+			case *ast.GenDecl:
+				p.declareTypes(pkg, d)
+			}
+		}
+	}
+}
+
+// declareTypes collects contract annotations from struct fields and
+// interface methods, and concrete types' method sets for CHA.
+func (p *Program) declareTypes(pkg *Package, gd *ast.GenDecl) {
+	if gd.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		typeKey := pkg.Path + "." + ts.Name.Name
+		switch t := ts.Type.(type) {
+		case *ast.StructType:
+			for _, field := range t.Fields.List {
+				if _, isFunc := field.Type.(*ast.FuncType); !isFunc {
+					continue
+				}
+				if !hasAllocfreeMarker(field.Doc) && !hasAllocfreeMarker(field.Comment) {
+					continue
+				}
+				for _, name := range field.Names {
+					p.contractFields[pkg.Path+".("+ts.Name.Name+")."+name.Name] = name.Pos()
+				}
+			}
+		case *ast.InterfaceType:
+			for _, m := range t.Methods.List {
+				if !hasAllocfreeMarker(m.Doc) && !hasAllocfreeMarker(m.Comment) {
+					continue
+				}
+				for _, name := range m.Names {
+					p.contractIfaceMethods[pkg.Path+".("+ts.Name.Name+")."+name.Name] = name.Pos()
+				}
+			}
+		}
+		// Record the full method set (promoted methods included) of
+		// every named non-interface type, in the type's own universe
+		// where identity is coherent — and each interface's required
+		// method names, for name-based satisfaction checks.
+		if obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+			if named, ok := obj.Type().(*types.Named); ok {
+				if it, isIface := named.Underlying().(*types.Interface); isIface {
+					names := make([]string, 0, it.NumMethods())
+					for i := 0; i < it.NumMethods(); i++ {
+						names = append(names, it.Method(i).Name())
+					}
+					sort.Strings(names)
+					p.ifaceMethods[pkg.Path+".("+ts.Name.Name+")"] = names
+				} else {
+					names := make(map[string]bool)
+					ms := types.NewMethodSet(types.NewPointer(named))
+					for i := 0; i < ms.Len(); i++ {
+						names[ms.At(i).Obj().Name()] = true
+					}
+					p.methodNames[typeKey] = names
+				}
+			}
+		}
+	}
+}
+
+// declKey builds the symbol key of a declaration from the package's
+// own Defs.
+func declKey(pkg *Package, fd *ast.FuncDecl) (string, bool) {
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	return funcKey(obj)
+}
+
+// nodeForDecl resolves the node registered for fd in phase A.
+func (p *Program) nodeForDecl(pkg *Package, fd *ast.FuncDecl) *FuncNode {
+	key, ok := declKey(pkg, fd)
+	if !ok {
+		return nil
+	}
+	return p.Funcs[key]
+}
+
+// bodyBuilder walks one declaration's body, creating literal child
+// nodes and attributing edges and sinks to the innermost enclosing
+// function.
+type bodyBuilder struct {
+	prog *Program
+	pkg  *Package
+	// funcVals maps a local variable object to the symbol key of the
+	// single function value it is bound to (one-step tracking); only
+	// variables with exactly one binding in the declaration qualify.
+	funcVals map[types.Object]string
+	// litKeys maps each literal to its node key.
+	litKeys map[*ast.FuncLit]string
+	// litCount numbers literals per enclosing declaration.
+	litCount int
+}
+
+// buildBody populates node (a declaration node) and its literal
+// descendants.
+func (p *Program) buildBody(node *FuncNode) {
+	b := &bodyBuilder{
+		prog:     p,
+		pkg:      node.Pkg,
+		funcVals: make(map[types.Object]string),
+		litKeys:  make(map[*ast.FuncLit]string),
+	}
+	// Pre-pass: number every literal (so keys are stable in source
+	// order) and track single-assignment function-valued locals.
+	b.scanLiterals(node, node.Decl.Body)
+	b.scanFuncValues(node.Decl.Body)
+	b.walk(node, node.Decl.Body)
+}
+
+// scanLiterals creates a child node for every function literal in the
+// subtree, keyed parentKey+"$"+ordinal in source order.
+func (b *bodyBuilder) scanLiterals(declNode *FuncNode, body ast.Node) {
+	var enclosing []*FuncNode
+	enclosing = append(enclosing, declNode)
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		b.litCount++
+		key := fmt.Sprintf("%s$%d", declNode.Key, b.litCount)
+		child := &FuncNode{
+			Key:     key,
+			Display: displayKey(key),
+			Pkg:     declNode.Pkg,
+			Lit:     lit,
+			Parent:  enclosing[len(enclosing)-1],
+		}
+		b.prog.Funcs[key] = child
+		b.litKeys[lit] = key
+		enclosing = append(enclosing, child)
+		ast.Inspect(lit.Body, visit)
+		enclosing = enclosing[:len(enclosing)-1]
+		return false
+	}
+	ast.Inspect(body, visit)
+}
+
+// scanFuncValues records locals bound exactly once to a resolvable
+// function value anywhere in the declaration. A second binding (or an
+// unresolvable one) disqualifies the variable.
+func (b *bodyBuilder) scanFuncValues(body ast.Node) {
+	bound := make(map[types.Object]int)
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := b.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = b.pkg.Info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		bound[v]++
+		if key, ok := b.resolveFuncValue(rhs); ok && bound[v] == 1 {
+			b.funcVals[v] = key
+		} else {
+			delete(b.funcVals, v)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id, st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) != len(st.Values) {
+				return true
+			}
+			for i, id := range st.Names {
+				record(id, st.Values[i])
+			}
+		}
+		return true
+	})
+}
+
+// resolveFuncValue resolves an expression used as a function value to
+// a symbol key: a literal, a package-level function reference, or a
+// method value on a concrete receiver.
+func (b *bodyBuilder) resolveFuncValue(e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.FuncLit:
+		key, ok := b.litKeys[v]
+		return key, ok
+	case *ast.Ident:
+		if fn, ok := b.pkg.Info.Uses[v].(*types.Func); ok {
+			return funcKey(fn)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := b.pkg.Info.Selections[v]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return funcKey(fn)
+			}
+		}
+		if fn, ok := b.pkg.Info.Uses[v.Sel].(*types.Func); ok {
+			return funcKey(fn)
+		}
+	}
+	return "", false
+}
+
+// walk attributes edges and sinks in body to cur, descending into
+// literals with their own nodes.
+func (b *bodyBuilder) walk(cur *FuncNode, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			if key, ok := b.litKeys[e]; ok {
+				b.walk(b.prog.Funcs[key], e.Body)
+			}
+			return false
+		case *ast.CallExpr:
+			b.addCallEdge(cur, e)
+			return true
+		case *ast.Ident:
+			b.addSink(cur, e)
+			return true
+		}
+		return true
+	})
+}
+
+// addSink records direct nondeterminism sources, reusing the
+// determinism analyzer's tables so both report the same facts.
+func (b *bodyBuilder) addSink(cur *FuncNode, id *ast.Ident) {
+	pkgPath, fn := usedPackageFunc(b.pkg.Info, id)
+	if pkgPath == "" {
+		return
+	}
+	if reason, ok := forbiddenCalls[pkgPath][fn]; ok {
+		cur.Sinks = append(cur.Sinks, SinkUse{Pos: id.Pos(), PkgPath: pkgPath, Name: fn, Reason: reason})
+	}
+	if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !globalRandAllowed[fn] {
+		cur.Sinks = append(cur.Sinks, SinkUse{Pos: id.Pos(), PkgPath: pkgPath, Name: fn, Reason: "draws from the process-global RNG"})
+	}
+}
+
+// addCallEdge resolves one call expression to an edge on cur.
+// Conversions and builtins produce no edge: the allocfree analyzer
+// inspects them in its own walk.
+func (b *bodyBuilder) addCallEdge(cur *FuncNode, call *ast.CallExpr) {
+	info := b.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		if key, ok := b.litKeys[f]; ok {
+			cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeStatic, Callee: key, CalleePkg: b.pkg.Path, CalleeName: displayKey(key)})
+		}
+		return
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Builtin:
+			return
+		case *types.Func:
+			if key, ok := funcKey(obj); ok {
+				cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeStatic, Callee: key, CalleePkg: obj.Pkg().Path(), CalleeName: obj.Name()})
+				return
+			}
+		case *types.Var:
+			if key, ok := b.funcVals[obj]; ok {
+				cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeStatic, Callee: key, CalleePkg: b.pkg.Path, CalleeName: f.Name})
+				return
+			}
+		case nil:
+			return
+		}
+		cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeUnknown, CalleeName: f.Name})
+		return
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			b.addSelectionEdge(cur, call, f, sel)
+			return
+		}
+		// No selection: a package-qualified reference (pkg.Fn).
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			if key, ok := funcKey(fn); ok {
+				edge := CallEdge{Pos: call.Lparen, Kind: EdgeStatic, Callee: key, CalleePkg: fn.Pkg().Path(), CalleeName: fn.Name()}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					edge.RecvType, _ = recvTypeName(sig.Recv().Type())
+				}
+				cur.Calls = append(cur.Calls, edge)
+				return
+			}
+		}
+		// Package-level func-typed var (binary.LittleEndian is a var,
+		// but its methods go through Selections; this handles e.g.
+		// pkgvar() calls).
+		cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeUnknown, CalleeName: exprString(f)})
+		return
+	}
+	cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeUnknown, CalleeName: exprString(fun)})
+}
+
+// addSelectionEdge resolves x.Sel(...) through the type-checker's
+// selection: concrete methods become static edges, interface methods
+// CHA edges, func-typed fields contract or unknown edges.
+func (b *bodyBuilder) addSelectionEdge(cur *FuncNode, call *ast.CallExpr, sel *ast.SelectorExpr, s *types.Selection) {
+	switch s.Kind() {
+	case types.MethodVal, types.MethodExpr:
+		fn, ok := s.Obj().(*types.Func)
+		if !ok {
+			break
+		}
+		recv := s.Recv()
+		if s.Kind() == types.MethodExpr {
+			// T.M / I.M used as a value then called: receiver is the
+			// expression type's first parameter; resolve like a call on
+			// that type.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recv = sig.Recv().Type()
+			}
+		}
+		if rt := derefType(recv); types.IsInterface(rt) {
+			b.addIfaceEdge(cur, call, rt, fn)
+			return
+		}
+		if key, ok := funcKey(fn); ok {
+			name, _ := recvTypeName(recv)
+			cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeStatic, Callee: key, CalleePkg: fn.Pkg().Path(), CalleeName: fn.Name(), RecvType: name})
+			return
+		}
+	case types.FieldVal:
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			break
+		}
+		if recvName, ok := recvTypeName(s.Recv()); ok && v.Pkg() != nil {
+			fieldKey := v.Pkg().Path() + ".(" + recvName + ")." + v.Name()
+			if _, annotated := b.prog.contractFields[fieldKey]; annotated {
+				cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeContract, Callee: fieldKey, CalleePkg: v.Pkg().Path(), CalleeName: v.Name(), RecvType: recvName})
+				return
+			}
+		}
+	}
+	cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeUnknown, CalleeName: exprString(sel)})
+}
+
+// addIfaceEdge resolves an interface method call by CHA over the
+// program's concrete types. Only interfaces defined in the program
+// fan out; a foreign interface (io.Writer) is an unknown edge — the
+// program cannot enumerate its implementations meaningfully.
+func (b *bodyBuilder) addIfaceEdge(cur *FuncNode, call *ast.CallExpr, iface types.Type, method *types.Func) {
+	named, ok := iface.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeUnknown, CalleeName: exprString(call.Fun)})
+		return
+	}
+	ifacePkg := named.Obj().Pkg().Path()
+	if !b.prog.hasPackage(ifacePkg) {
+		cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeUnknown, CalleeName: exprString(call.Fun)})
+		return
+	}
+	it, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		cur.Calls = append(cur.Calls, CallEdge{Pos: call.Lparen, Kind: EdgeUnknown, CalleeName: exprString(call.Fun)})
+		return
+	}
+	required := make([]string, 0, it.NumMethods())
+	for i := 0; i < it.NumMethods(); i++ {
+		required = append(required, it.Method(i).Name())
+	}
+	ifaceKey := ifacePkg + ".(" + named.Obj().Name() + ")." + method.Name()
+	_, annotated := b.prog.contractIfaceMethods[ifaceKey]
+
+	var callees []string
+	for _, m := range b.prog.methodsByName[method.Name()] {
+		typeKey := m.Pkg.Path + "." + m.recvName()
+		if implementsByName(b.prog.methodNames[typeKey], required) {
+			callees = append(callees, m.Key)
+		}
+	}
+	sort.Strings(callees)
+	cur.Calls = append(cur.Calls, CallEdge{
+		Pos: call.Lparen, Kind: EdgeIface,
+		Callee:    ifaceKey,
+		Callees:   callees,
+		CalleePkg: ifacePkg, CalleeName: method.Name(), RecvType: named.Obj().Name(),
+		IfaceAnnotated: annotated,
+	})
+}
+
+// recvName extracts a method node's receiver type name from its
+// declaration.
+func (n *FuncNode) recvName() string {
+	if n.Decl == nil || n.Decl.Recv == nil || len(n.Decl.Recv.List) == 0 {
+		return ""
+	}
+	t := n.Decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic receiver type parameters (T[P]).
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// implementsByName reports whether a type's method-name set covers the
+// interface's required method names. This is CHA's name-based
+// satisfaction test: structural checking cannot compare named types
+// across type-checker universes, so matching is by name, which
+// over-approximates (safe for taint propagation, and in practice exact
+// for this module's small interfaces).
+func implementsByName(have map[string]bool, required []string) bool {
+	if have == nil {
+		return false
+	}
+	for _, r := range required {
+		if !have[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasPackage reports whether path is one of the program's packages.
+func (p *Program) hasPackage(path string) bool {
+	return p.packageByPath(path) != nil
+}
+
+// packageByPath resolves one of the program's packages by import path.
+func (p *Program) packageByPath(path string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// PackageNodes returns the program's nodes declared in pkg, in source
+// order (declarations ordered by position, literals after their
+// parent).
+func (p *Program) PackageNodes(pkg *Package) []*FuncNode {
+	var nodes []*FuncNode
+	for _, n := range p.Funcs {
+		if n.Pkg == pkg {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		pi, pj := nodes[i].pos(), nodes[j].pos()
+		if pi != pj {
+			return pi < pj
+		}
+		return nodes[i].Key < nodes[j].Key
+	})
+	return nodes
+}
+
+// pos is the node's declaration position.
+func (n *FuncNode) pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// exprString renders a short description of an expression for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.SliceExpr:
+		return exprString(v.X) + "[...]"
+	}
+	return "dynamic expression"
+}

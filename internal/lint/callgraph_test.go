@@ -1,0 +1,129 @@
+package lint_test
+
+import (
+	"testing"
+
+	"greenhetero/internal/lint"
+)
+
+const cgBase = "greenhetero/internal/sim."
+
+func loadCallgraphProgram(t *testing.T) *lint.Program {
+	t.Helper()
+	pkg, err := lint.LoadFiles("greenhetero/internal/sim", "testdata/callgraph/callgraph.go")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+	}
+	return lint.BuildProgram([]*lint.Package{pkg})
+}
+
+func nodeOf(t *testing.T, prog *lint.Program, key string) *lint.FuncNode {
+	t.Helper()
+	n := prog.Funcs[key]
+	if n == nil {
+		keys := make([]string, 0, len(prog.Funcs))
+		for k := range prog.Funcs {
+			keys = append(keys, k)
+		}
+		t.Fatalf("no node %q; have %v", key, keys)
+	}
+	return n
+}
+
+// TestCallGraphKeys pins the symbol-key scheme the whole engine hangs
+// off: pointer receivers normalize away, literals get $N suffixes, and
+// displays strip the module's internal/ prefix.
+func TestCallGraphKeys(t *testing.T) {
+	prog := loadCallgraphProgram(t)
+
+	if n := nodeOf(t, prog, cgBase+"(fast).Tick"); n.Display != "sim.(fast).Tick" {
+		t.Errorf("(fast).Tick display = %q, want sim.(fast).Tick", n.Display)
+	}
+	if prog.Funcs[cgBase+"(*fast).Tick"] != nil {
+		t.Error("pointer receiver leaked into the key: found (*fast).Tick")
+	}
+	if n := nodeOf(t, prog, cgBase+"caller"); n.Display != "sim.caller" {
+		t.Errorf("caller display = %q, want sim.caller", n.Display)
+	}
+
+	lit := nodeOf(t, prog, cgBase+"withLit$1")
+	if lit.Lit == nil {
+		t.Error("withLit$1 is not a literal node")
+	}
+	if lit.Parent != prog.Funcs[cgBase+"withLit"] {
+		t.Error("withLit$1 parent is not withLit")
+	}
+}
+
+// TestCallGraphEdges pins edge resolution: direct call, one-step
+// function value, tracked literal, CHA fan-out, unknown.
+func TestCallGraphEdges(t *testing.T) {
+	prog := loadCallgraphProgram(t)
+
+	staticTo := func(name, callee string) {
+		t.Helper()
+		for _, e := range nodeOf(t, prog, cgBase+name).Calls {
+			if e.Kind == lint.EdgeStatic && e.Callee == cgBase+callee {
+				return
+			}
+		}
+		t.Errorf("%s: no static edge to %s in %+v", name, callee, nodeOf(t, prog, cgBase+name).Calls)
+	}
+	staticTo("caller", "leaf")
+	staticTo("viaValue", "leaf")
+	staticTo("withLit", "withLit$1")
+
+	var iface *lint.CallEdge
+	for i, e := range nodeOf(t, prog, cgBase+"viaIface").Calls {
+		if e.Kind == lint.EdgeIface {
+			iface = &nodeOf(t, prog, cgBase+"viaIface").Calls[i]
+		}
+	}
+	if iface == nil {
+		t.Fatal("viaIface: no interface edge")
+	}
+	if iface.RecvType != "ticker" {
+		t.Errorf("iface edge RecvType = %q, want ticker", iface.RecvType)
+	}
+	want := []string{cgBase + "(fast).Tick", cgBase + "(slow).Tick"}
+	if len(iface.Callees) != len(want) {
+		t.Fatalf("iface fan-out = %v, want %v", iface.Callees, want)
+	}
+	for i := range want {
+		if iface.Callees[i] != want[i] {
+			t.Fatalf("iface fan-out = %v, want %v (sorted)", iface.Callees, want)
+		}
+	}
+
+	unknown := false
+	for _, e := range nodeOf(t, prog, cgBase+"viaUnknown").Calls {
+		if e.Kind == lint.EdgeUnknown {
+			unknown = true
+		}
+	}
+	if !unknown {
+		t.Error("viaUnknown: expected an unknown edge for fns[0]()")
+	}
+}
+
+// TestCallGraphSinks pins that nondeterminism sinks are recorded on
+// the node that names them, reusing the determinism analyzer's tables.
+func TestCallGraphSinks(t *testing.T) {
+	prog := loadCallgraphProgram(t)
+	n := nodeOf(t, prog, cgBase+"sinky")
+	found := false
+	for _, s := range n.Sinks {
+		if s.PkgPath == "time" && s.Name == "Now" && s.Reason == "reads the wall clock" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sinky sinks = %+v, want time.Now (reads the wall clock)", n.Sinks)
+	}
+	if len(nodeOf(t, prog, cgBase+"leaf").Sinks) != 0 {
+		t.Error("leaf has sinks, want none")
+	}
+}

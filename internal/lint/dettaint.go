@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// DettaintAnalyzer escalates the determinism analyzer through the call
+// graph. The direct analyzer flags a wall-clock / global-RNG /
+// environment / CPU-count read written inside a deterministic-core
+// package — but a one-function indirection launders the taint: a core
+// function calling a helper in an unclassified package (cmd/, a nested
+// internal subdirectory, the module root) that itself calls time.Now
+// passes the direct check in both places, because the helper's package
+// is not gated and the core caller never names time.Now. This analyzer
+// closes that hole: it computes transitive sink reachability over the
+// program's call graph and flags every call from a core function to an
+// in-program callee outside the core whose transitive closure reaches a
+// sink, with the full call chain in the diagnostic.
+//
+// Reporting discipline (kept minimal so one bad helper does not flag
+// every ancestor):
+//
+//   - Sinks written directly in a core function are the direct
+//     analyzer's findings; dettaint never re-reports them.
+//   - A call from core to core is never a frontier: by induction the
+//     callee's own pass reports its problem (directly or at its own
+//     frontier), so flagging the caller too would only duplicate.
+//   - A call from core to a non-core in-program function whose closure
+//     reaches a sink IS the frontier: that is the laundering point,
+//     and the finding names the chain from caller to sink.
+//
+// Interface calls resolve by CHA, with one deliberate exception:
+// implementations living in wallClockAllowed packages do not propagate
+// taint through interface dispatch. Injecting a live, wall-clock-facing
+// implementation (livenode.Node as a Prober) through an interface is
+// the sanctioned determinism boundary — the config chooses it
+// deliberately. A hard static call from core into a wallClockAllowed
+// function enjoys no such exemption: the dependency is then wired at
+// build time, which is exactly the laundering this analyzer exists to
+// catch. Unknown edges (foreign interfaces, unresolvable function
+// values) are treated as clean — a documented blind spot shared with
+// every static call-graph tool; the direct analyzer still guards the
+// bodies of everything loaded.
+var DettaintAnalyzer = &Analyzer{
+	Name: "dettaint",
+	Doc: "flag deterministic-core calls into helpers that transitively " +
+		"reach wall-clock/global-RNG/environment/CPU-count sinks, naming " +
+		"the full call chain; closes the one-function-indirection hole in " +
+		"the determinism analyzer",
+	Run: runDettaint,
+}
+
+func runDettaint(pass *Pass) {
+	if !IsDeterministicCore(pass.Path) {
+		return
+	}
+	prog := pass.Prog
+	pkg := prog.packageByPath(pass.Path)
+	if pkg == nil {
+		return
+	}
+	taint := computeTaint(prog)
+	for _, node := range prog.PackageNodes(pkg) {
+		for _, e := range node.Calls {
+			callee := frontierCallee(prog, e, taint)
+			if callee == nil {
+				continue
+			}
+			chain, sink := taintChain(prog, callee, taint)
+			if sink == nil {
+				continue
+			}
+			full := append([]string{node.Display}, chain...)
+			pass.Reportf(e.Pos,
+				"%s calls %s, which transitively reaches %s.%s (%s) outside the deterministic core: %s → %s.%s; inject the dependency through an interface or move the helper into a core package",
+				node.Display, callee.Display, sink.PkgPath, sink.Name, sink.Reason,
+				strings.Join(full, " → "), sink.PkgPath, sink.Name)
+		}
+	}
+}
+
+// computeTaint runs the sink-reachability fixpoint over the program:
+// a node is tainted when its body names a sink or when any of its
+// resolvable callees is tainted. Iteration order is sorted, so the
+// result is deterministic (and order-independent anyway: the fixpoint
+// is monotone).
+func computeTaint(prog *Program) map[string]bool {
+	keys := make([]string, 0, len(prog.Funcs))
+	taint := make(map[string]bool)
+	for key, n := range prog.Funcs {
+		keys = append(keys, key)
+		if len(n.Sinks) > 0 {
+			taint[key] = true
+		}
+	}
+	sort.Strings(keys)
+	for changed := true; changed; {
+		changed = false
+		for _, key := range keys {
+			if taint[key] {
+				continue
+			}
+			n := prog.Funcs[key]
+			for _, e := range n.Calls {
+				for _, ck := range taintCallees(prog, e) {
+					if taint[ck] {
+						taint[key] = true
+						changed = true
+						break
+					}
+				}
+				if taint[key] {
+					break
+				}
+			}
+		}
+	}
+	return taint
+}
+
+// taintCallees lists the in-program callees an edge propagates taint
+// from. Interface fan-out skips implementations in wallClockAllowed
+// packages: interface injection is the sanctioned determinism boundary.
+func taintCallees(prog *Program, e CallEdge) []string {
+	switch e.Kind {
+	case EdgeStatic:
+		if _, ok := prog.Funcs[e.Callee]; ok {
+			return []string{e.Callee}
+		}
+	case EdgeIface:
+		var out []string
+		for _, k := range e.Callees {
+			n := prog.Funcs[k]
+			if n == nil || wallClockAllowed[pkgKey(n.Pkg.Path)] {
+				continue
+			}
+			out = append(out, k)
+		}
+		return out
+	}
+	return nil
+}
+
+// frontierCallee resolves an edge to the first tainted in-program
+// callee outside the deterministic core — the laundering point this
+// analyzer reports — or nil.
+func frontierCallee(prog *Program, e CallEdge, taint map[string]bool) *FuncNode {
+	for _, k := range taintCallees(prog, e) {
+		n := prog.Funcs[k]
+		if n == nil || IsDeterministicCore(n.Pkg.Path) {
+			continue
+		}
+		if taint[k] {
+			return n
+		}
+	}
+	return nil
+}
+
+// taintChain reconstructs a shortest call chain from start to a direct
+// sink, following the same edges taint propagated over. BFS order is
+// deterministic: edges in source order, interface fan-outs sorted.
+func taintChain(prog *Program, start *FuncNode, taint map[string]bool) ([]string, *SinkUse) {
+	type item struct {
+		node *FuncNode
+		path []string
+	}
+	seen := map[string]bool{start.Key: true}
+	queue := []item{{start, []string{start.Display}}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if len(it.node.Sinks) > 0 {
+			return it.path, &it.node.Sinks[0]
+		}
+		for _, e := range it.node.Calls {
+			for _, ck := range taintCallees(prog, e) {
+				if seen[ck] || !taint[ck] {
+					continue
+				}
+				seen[ck] = true
+				next := prog.Funcs[ck]
+				path := append(append([]string{}, it.path...), next.Display)
+				queue = append(queue, item{next, path})
+			}
+		}
+	}
+	return nil, nil
+}

@@ -17,7 +17,7 @@
 // go/types so the tool builds with no third-party dependencies: the
 // linter that guards the build must not complicate it.
 //
-// Seven analyzers ship today. Four are statement-local AST passes:
+// Nine analyzers ship today. Four are statement-local AST passes:
 //
 //   - determinism: forbids wall-clock, global-RNG, environment, and
 //     CPU-count reads inside the deterministic core packages.
@@ -40,6 +40,17 @@
 //     receives / does not loop).
 //   - deferclose: net/os resources must be closed, returned, or stored
 //     on every control-flow path from their acquisition.
+//
+// Two are interprocedural, built on a whole-program call graph
+// (callgraph.go) shared across every loaded package:
+//
+//   - allocfree: functions annotated `// ghlint:allocfree` contain no
+//     allocation site and call only annotated, whitelisted, or
+//     contract-verified callees — the static form of the epoch hot
+//     path's AllocsPerRun zero-alloc proof.
+//   - dettaint: deterministic-core functions must not call helpers that
+//     *transitively* reach a wall-clock or global-RNG read; findings
+//     name the full call chain to the sink.
 //
 // Findings are suppressed line-by-line with a reasoned directive:
 //
@@ -102,6 +113,13 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds type-checker facts for expressions in Files.
 	Info *types.Info
+	// Prog is the interprocedural view over every loaded package (the
+	// call graph, see callgraph.go). Interprocedural analyzers
+	// (allocfree, dettaint) consult it; statement-local ones ignore it.
+	// Always non-nil: single-package entry points build a one-package
+	// program, in which cross-package callees appear as out-of-program
+	// edges.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -125,6 +143,8 @@ func Analyzers() []*Analyzer {
 		GuardedbyAnalyzer,
 		GoleakAnalyzer,
 		DefercloseAnalyzer,
+		AllocfreeAnalyzer,
+		DettaintAnalyzer,
 	}
 }
 
@@ -152,9 +172,20 @@ func lookupAnalyzer(name string) *Analyzer {
 // directives, appends diagnostics for malformed directives, and returns
 // the surviving findings sorted by position then analyzer. The result
 // is deterministic: it depends only on the package's source.
+//
+// The package is analyzed as a one-package program: interprocedural
+// analyzers see calls into unloaded packages as out-of-program edges.
+// Use BuildProgram + RunProgramPackage for whole-program precision.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgramPackage(BuildProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+// RunProgramPackage is RunPackage against a prebuilt multi-package
+// program, so interprocedural analyzers resolve cross-package edges.
+// Diagnostics are reported for pkg only; prog must contain pkg.
+func RunProgramPackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
-	for _, d := range RunPackageAll(pkg, analyzers) {
+	for _, d := range RunProgramPackageAll(prog, pkg, analyzers) {
 		if !d.Suppressed {
 			out = append(out, d)
 		}
@@ -167,6 +198,11 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // reviewer (or the -json CI artifact) can see what the directives are
 // holding back. Ordering and determinism match RunPackage.
 func RunPackageAll(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgramPackageAll(BuildProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+// RunProgramPackageAll is RunPackageAll against a prebuilt program.
+func RunProgramPackageAll(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	sups, supDiags := collectDirectives(pkg.Fset, pkg.Files)
 
 	var diags []Diagnostic
@@ -178,6 +214,7 @@ func RunPackageAll(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 		}
 		a.Run(pass)
 		for _, d := range pass.diags {

@@ -43,11 +43,52 @@ type expectation struct {
 // surviving diagnostics against the fixture's want annotations.
 func Run(t *testing.T, a *lint.Analyzer, importPath string, files ...string) {
 	t.Helper()
+	RunWithDeps(t, a, importPath, files)
+}
+
+// Dep is one fixture dependency for RunWithDeps: a package built from
+// testdata files and loaded into the same call-graph program as the
+// target, so interprocedural analyzers see genuine cross-package
+// edges. Dependency packages live in real directories under testdata/
+// (testdata/taintutil → "greenhetero/internal/lint/testdata/taintutil")
+// so the target fixture's imports resolve through the source importer,
+// while the go tool still never builds them. Path must match what the
+// target imports — the call graph keys functions by import path, so a
+// mismatch silently drops every cross-package edge.
+type Dep struct {
+	// Path is the dependency's import path.
+	Path string
+	// Files are its fixture files, relative to testdata/.
+	Files []string
+}
+
+// RunWithDeps is Run for interprocedural analyzers: deps are loaded
+// first, the target package last, and one call-graph program is built
+// over all of them before the analyzer runs on the target alone. Want
+// annotations are honored only in the target's files — findings never
+// land in dependency packages (each package's own run reports those).
+func RunWithDeps(t *testing.T, a *lint.Analyzer, importPath string, files []string, deps ...Dep) {
+	t.Helper()
 	if len(files) == 0 {
-		t.Fatal("linttest.Run: no fixture files")
+		t.Fatal("linttest: no fixture files")
 	}
 	for i, f := range files {
 		files[i] = filepath.Join("testdata", f)
+	}
+	var pkgs []*lint.Package
+	for _, d := range deps {
+		df := make([]string, len(d.Files))
+		for i, f := range d.Files {
+			df[i] = filepath.Join("testdata", f)
+		}
+		dep, err := lint.LoadFiles(d.Path, df...)
+		if err != nil {
+			t.Fatalf("loading dependency %s: %v", d.Path, err)
+		}
+		if len(dep.TypeErrors) > 0 {
+			t.Fatalf("dependency %s does not type-check: %v", d.Path, dep.TypeErrors)
+		}
+		pkgs = append(pkgs, dep)
 	}
 	pkg, err := lint.LoadFiles(importPath, files...)
 	if err != nil {
@@ -56,9 +97,11 @@ func Run(t *testing.T, a *lint.Analyzer, importPath string, files ...string) {
 	if len(pkg.TypeErrors) > 0 {
 		t.Fatalf("fixtures do not type-check: %v", pkg.TypeErrors)
 	}
+	pkgs = append(pkgs, pkg)
 
 	wants := collectWants(t, files)
-	diags := lint.RunPackage(pkg, []*lint.Analyzer{a})
+	prog := lint.BuildProgram(pkgs)
+	diags := lint.RunProgramPackage(prog, pkg, []*lint.Analyzer{a})
 
 	matched := make([]bool, len(wants))
 	for _, d := range diags {

@@ -1,0 +1,200 @@
+// The allocfree fixture: every allocation-site class the analyzer
+// flags, every cold-path exemption it grants, and the callee
+// discipline — including the hidden-allocation regression shape, where
+// a helper deep in an annotated call tree grows a slice and the
+// finding must land at that exact line. Loaded with testdata/taintutil
+// as a RunWithDeps dependency for the cross-package cases.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"greenhetero/internal/lint/testdata/taintutil"
+)
+
+type pair struct{ a, b float64 }
+
+// plainHelper is deliberately unannotated: calling it from an
+// annotated function is a finding.
+func plainHelper(x float64) float64 { return x + 1 }
+
+// leafOK is allocation-free and under the contract.
+//
+// ghlint:allocfree
+func leafOK(x float64) float64 { return x * 2 }
+
+// ghlint:allocfree
+func hotMake(n int) []float64 {
+	buf := make([]float64, n) // want "sim\\.hotMake is ghlint:allocfree but allocates: make"
+	p := new(pair)            // want "allocates: new"
+	_ = p
+	return buf
+}
+
+// ghlint:allocfree
+func hotAppend(xs []float64, v float64) []float64 {
+	ys := append(xs, v) // want "allocates: append may grow its backing array"
+	return ys
+}
+
+// hotReuse stays clean: both append shapes are provable buffer reuse.
+//
+// ghlint:allocfree
+func hotReuse(buf []float64, v float64) []float64 {
+	buf = append(buf, v)      // ok: result assigned back to the base
+	out := append(buf[:0], v) // ok: the base is a slice of an existing buffer
+	return out
+}
+
+// hotChain stays clean: every callee is under the contract.
+//
+// ghlint:allocfree
+func hotChain(x float64) float64 { return leafOK(x) }
+
+// hiddenAlloc is the regression shape: the annotated entry point is
+// clean, but a helper it calls grows a slice. The finding lands in the
+// helper, at the append.
+//
+// ghlint:allocfree
+func hiddenAlloc(xs []float64, v float64) []float64 {
+	return sneaky(xs, v)
+}
+
+// ghlint:allocfree
+func sneaky(xs []float64, v float64) []float64 {
+	out := append(xs, v) // want "sim\\.sneaky is ghlint:allocfree but allocates: append may grow"
+	return out
+}
+
+// ghlint:allocfree
+func hotCaller(x float64) float64 {
+	return plainHelper(x) // want "calls sim\\.plainHelper, which is not ghlint:allocfree-annotated"
+}
+
+// hotWithColdExit stays clean: the error exit allocates, but a return
+// whose final result is a non-nil error is a cold path by definition.
+//
+// ghlint:allocfree
+func hotWithColdExit(x float64) (float64, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("negative input %v", x) // ok: cold error exit
+	}
+	return x * 2, nil
+}
+
+type scratch struct{ buf []float64 }
+
+// ensure stays clean: grow-on-demand behind a cap guard allocates only
+// until steady state, the same amortization AllocsPerRun pins at zero.
+//
+// ghlint:allocfree
+func (s *scratch) ensure(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n) // ok: lazy-init guard body is exempt
+	}
+	s.buf = s.buf[:n]
+}
+
+func sink(v any) {}
+
+// ghlint:allocfree
+func hotBoxing(x float64) {
+	sink(x) // want "allocates: interface boxing of x" "calls sim\\.sink, which is not ghlint:allocfree-annotated"
+}
+
+// ghlint:allocfree
+func hotClosure(xs []float64) float64 {
+	add := func(a, b float64) float64 { return a + b } // ok: bound to a call-only local, runs inline
+	total := 0.0
+	for _, x := range xs {
+		total = add(total, x)
+	}
+	f := func() float64 { return total } // want "allocates: closure creation"
+	_ = f
+	return total
+}
+
+type counter struct{ n float64 }
+
+func (c *counter) bump(v float64) float64 { c.n += v; return c.n }
+
+// ghlint:allocfree
+func hotMethodValue(c *counter) float64 {
+	f := c.bump // want "allocates: method value c\\.bump binds its receiver into a closure"
+	return f(1) // want "calls sim\\.\\(counter\\)\\.bump, which is not ghlint:allocfree-annotated"
+}
+
+// ghlint:allocfree
+func hotMapWrite(m map[string]int) {
+	m["k"] = 1 // want "allocates: map write"
+	m["n"]++   // want "allocates: map write"
+}
+
+// ghlint:allocfree
+func hotConcat(a, b string) string {
+	return a + b // want "allocates: string concatenation"
+}
+
+// ghlint:allocfree
+func hotSliceLit(x float64) []float64 {
+	return []float64{x} // want "allocates: slice literal"
+}
+
+// hotValueStruct stays clean: a struct literal is a value; only its
+// escape via & allocates.
+//
+// ghlint:allocfree
+func hotValueStruct(x float64) pair {
+	return pair{a: x, b: x}
+}
+
+// ghlint:allocfree
+func hotEscape(x float64) *pair {
+	return &pair{a: x} // want "allocates: composite literal escapes via &"
+}
+
+// ghlint:allocfree
+func hotConvert(bs []byte) string {
+	return string(bs) // want "allocates: conversion to string copies the slice"
+}
+
+// ghlint:allocfree
+func hotDynamic(fns []func() float64) float64 {
+	return fns[0]() // want "calls fns\\[\\.\\.\\.\\], which the call graph cannot resolve"
+}
+
+// ghlint:allocfree
+func hotGo(x float64) {
+	go leafOK(x) // want "allocates: goroutine launch"
+}
+
+// hotMath stays clean: math is on the vetted stdlib whitelist.
+//
+// ghlint:allocfree
+func hotMath(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// ghlint:allocfree
+func hotSort(xs []float64) {
+	sort.Float64s(xs) // want "calls sort\\.Float64s, which is outside the allocfree-verified set"
+}
+
+// hotCross exercises the contract across a package boundary: the
+// annotated dependency function is fine, the unannotated one is not.
+//
+// ghlint:allocfree
+func hotCross(x float64) float64 {
+	y := taintutil.Scale(x)          // ok: annotated across the package boundary
+	return y + taintutil.Alloc(1)[0] // want "calls lint/testdata/taintutil\\.Alloc, which is not ghlint:allocfree-annotated"
+}
+
+// hotSuppressed documents a budgeted allocation with a reasoned
+// directive; the finding is silenced, not absent.
+//
+// ghlint:allocfree
+func hotSuppressed(n int) []float64 {
+	return make([]float64, n) //lint:ghlint ignore allocfree fixture pins the reasoned-budget suppression path
+}

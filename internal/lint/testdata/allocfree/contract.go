@@ -1,0 +1,82 @@
+// Contract cases for the allocfree fixture: interface methods and
+// func-typed struct fields under `// ghlint:allocfree`, with every
+// binding and implementation verified program-wide.
+package sim
+
+import "greenhetero/internal/lint/testdata/taintutil"
+
+// predictor's Observe is under the allocfree contract: annotated
+// callers may dispatch through it, and every in-program
+// implementation must itself be annotated.
+type predictor interface {
+	// ghlint:allocfree
+	Observe(v float64)
+}
+
+type goodImpl struct{ last float64 }
+
+// Observe implements predictor under the contract.
+//
+// ghlint:allocfree
+func (g *goodImpl) Observe(v float64) { g.last = v }
+
+type badImpl struct{ hist []float64 }
+
+// Observe implements predictor but is not annotated: flagged at the
+// declaration, because an annotated caller can reach it dynamically.
+func (b *badImpl) Observe(v float64) { // want "sim\\.\\(badImpl\\)\\.Observe implements sim\\.\\(predictor\\)\\.Observe, which is ghlint:allocfree-annotated"
+	b.hist = append(b.hist, v)
+}
+
+// hotIface stays clean: the interface method carries the contract.
+//
+// ghlint:allocfree
+func hotIface(p predictor, v float64) {
+	p.Observe(v)
+}
+
+// sampler carries no annotation, so dispatching through it from an
+// annotated function is a finding.
+type sampler interface {
+	Sample() float64
+}
+
+type noisy struct{ state float64 }
+
+func (n *noisy) Sample() float64 {
+	n.state++
+	return n.state
+}
+
+// ghlint:allocfree
+func hotBadIface(s sampler) float64 {
+	return s.Sample() // want "calls Sample dynamically through interface sim\\.\\(sampler\\)"
+}
+
+// model's perf hook is under the contract: calls through the field are
+// trusted, and every binding program-wide is verified instead.
+type model struct {
+	// ghlint:allocfree
+	perf func(x float64) float64
+}
+
+// ghlint:allocfree
+func hotField(m *model, x float64) float64 {
+	return m.perf(x)
+}
+
+// badModel is a composite-literal binding outside any function body.
+var badModel = model{perf: plainHelper} // want "sim\\.plainHelper is bound to allocfree contract field sim\\.\\(model\\)\\.perf but is not ghlint:allocfree-annotated"
+
+// bind exercises every binding shape. It is itself unannotated:
+// bindings are verified wherever they occur, because the annotated
+// caller dispatching through the field cannot see who bound it.
+func bind(m *model, x float64) *model {
+	m.perf = leafOK                                   // ok: annotated function
+	m.perf = plainHelper                              // want "sim\\.plainHelper is bound to allocfree contract field"
+	m.perf = func(v float64) float64 { return v + x } // ok: the literal is verified inline
+	m.perf = func(v float64) float64 {
+		return taintutil.Alloc(1)[0] // want "the literal bound to sim\\.\\(model\\)\\.perf is ghlint:allocfree but calls lint/testdata/taintutil\\.Alloc"
+	}
+	return &model{perf: leafOK} // ok: annotated function in a composite binding
+}

@@ -1,0 +1,50 @@
+// Fixture for the call-graph unit tests: one function per edge shape —
+// static, one-step function value, interface CHA fan-out, tracked
+// literal, unresolvable dynamic call — plus a sink and a pointer
+// receiver for key-normalization checks.
+package sim
+
+import "time"
+
+type ticker interface {
+	Tick(x float64) float64
+}
+
+type fast struct{}
+
+func (f *fast) Tick(x float64) float64 { return x + 1 }
+
+type slow struct{ last float64 }
+
+func (s *slow) Tick(x float64) float64 {
+	s.last = x
+	return x * 2
+}
+
+func leaf(x float64) float64 { return x + 1 }
+
+func caller(x float64) float64 {
+	return leaf(x)
+}
+
+func viaValue(x float64) float64 {
+	f := leaf
+	return f(x)
+}
+
+func viaIface(tk ticker, x float64) float64 {
+	return tk.Tick(x)
+}
+
+func viaUnknown(fns []func() float64) float64 {
+	return fns[0]()
+}
+
+func withLit(x float64) float64 {
+	double := func(v float64) float64 { return v * 2 }
+	return double(x)
+}
+
+func sinky() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,40 @@
+// The dettaint fixture: a deterministic-core package laundering a
+// wall-clock read through a helper package. The direct determinism
+// analyzer passes both sides — this file never names time.Now, and the
+// helper's package is not core-gated — so only the transitive pass can
+// connect them. Loaded with testdata/taintutil as a RunWithDeps
+// dependency.
+package sim
+
+import "greenhetero/internal/lint/testdata/taintutil"
+
+// step calls the laundering helper directly: the call site is the
+// frontier, and the diagnostic names every hop down to the sink.
+func step() float64 {
+	t := taintutil.EpochStamp() // want "sim\\.step calls lint/testdata/taintutil\\.EpochStamp, which transitively reaches time\\.Now \\(reads the wall clock\\) outside the deterministic core: sim\\.step → lint/testdata/taintutil\\.EpochStamp → lint/testdata/taintutil\\.stamp → time\\.Now"
+	return float64(t)
+}
+
+// indirect launders through a core-local helper first. No finding
+// here: core→core is never a frontier — the helper's own body holds
+// the laundering call and gets the finding, so flagging every ancestor
+// would only duplicate it.
+func indirect() float64 {
+	return helper()
+}
+
+func helper() float64 {
+	return float64(taintutil.EpochStamp()) // want "sim\\.helper calls lint/testdata/taintutil\\.EpochStamp, which transitively reaches time\\.Now"
+}
+
+// okPath uses a clean helper from the same package: reaching outside
+// the core is fine when the closure never hits a sink.
+func okPath(x float64) float64 {
+	return taintutil.Clean(x)
+}
+
+// suppressed documents a sanctioned boundary with a reasoned
+// directive; the finding is silenced, not absent.
+func suppressed() float64 {
+	return float64(taintutil.EpochStamp()) //lint:ghlint ignore dettaint fixture pins the suppression path for transitive findings
+}

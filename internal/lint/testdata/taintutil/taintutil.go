@@ -1,0 +1,42 @@
+// Package taintutil is a fixture dependency for the interprocedural
+// analyzers (dettaint, allocfree). It lives under testdata/ so the go
+// tool never builds it, yet it is a real importable package: fixtures
+// load it through linttest.RunWithDeps and import it by this path, so
+// the call graph sees genuine cross-package edges. Its import path has
+// a nested internal/ suffix, which leaves it unclassified by the
+// core/allowlist tables — exactly the kind of helper package that
+// launders nondeterminism past the direct determinism analyzer.
+package taintutil
+
+import "time"
+
+// EpochStamp launders a wall-clock read behind a helper hop: neither
+// this function nor a core caller names time.Now, so the direct
+// analyzer is blind in both places. dettaint must still connect
+// caller → EpochStamp → stamp → time.Now.
+func EpochStamp() int64 {
+	return stamp()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Clean is a pure helper: core callers use it without findings.
+func Clean(x float64) float64 {
+	return x * 2
+}
+
+// Alloc grows a fresh slice on every call; an allocfree-annotated
+// caller must be flagged for calling it.
+func Alloc(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Scale is allocation-free and under the contract, so annotated
+// callers may use it across the package boundary.
+//
+// ghlint:allocfree
+func Scale(x float64) float64 {
+	return x * 0.5
+}

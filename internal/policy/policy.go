@@ -70,14 +70,15 @@ func NewScratch() *Scratch { return &Scratch{} }
 // its projection entry exactly once per shape change — ProjectionInto
 // then refreshes the entry fields in place each epoch and the bound
 // method value observes them through the pointer.
+//
+// ghlint:allocfree
 func (sc *Scratch) ensure(n int) {
-	if len(sc.entries) == n {
-		return
-	}
-	sc.entries = make([]profiledb.Entry, n)
-	sc.models = make([]solver.GroupModel, n)
-	for i := range sc.models {
-		sc.models[i].Perf = sc.entries[i].Predict
+	if len(sc.entries) != n {
+		sc.entries = make([]profiledb.Entry, n)
+		sc.models = make([]solver.GroupModel, n)
+		for i := range sc.models {
+			sc.models[i].Perf = sc.entries[i].Predict
+		}
 	}
 }
 
@@ -279,6 +280,13 @@ func (s Solver) UpdatesDB() bool { return s.Adaptive }
 // Context Scratch it reuses the model slice and the warm solver (memoized
 // and table-accelerated, bit-identical to the cold solve); without one it
 // builds fresh models and runs the reference solver.
+//
+// The annotation covers the Scratch path — the per-epoch hot path. The
+// scratchless branches hang off `sc == nil` guards, which the analyzer
+// treats as cold lazy-init paths, matching reality: a caller without a
+// Scratch has opted out of the zero-alloc contract.
+//
+// ghlint:allocfree
 func (s Solver) Allocate(ctx Context) ([]float64, error) {
 	entries, err := dbEntries(ctx)
 	if err != nil {
@@ -286,10 +294,10 @@ func (s Solver) Allocate(ctx Context) ([]float64, error) {
 	}
 	sc := ctx.Scratch
 	var models []solver.GroupModel
-	if sc != nil {
-		models = sc.models
-	} else {
+	if sc == nil {
 		models = make([]solver.GroupModel, len(ctx.Groups))
+	} else {
+		models = sc.models
 	}
 	for i, g := range ctx.Groups {
 		e := &entries[i]
@@ -304,10 +312,10 @@ func (s Solver) Allocate(ctx Context) ([]float64, error) {
 		models[i].Coeffs = e.Curve.Coeffs
 	}
 	var res solver.Result
-	if sc != nil {
-		res, err = sc.warm.Optimize(models, ctx.SupplyW, s.Options)
-	} else {
+	if sc == nil {
 		res, err = solver.Optimize(models, ctx.SupplyW, s.Options)
+	} else {
+		res, err = sc.warm.Optimize(models, ctx.SupplyW, s.Options)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("policy %s: %w", s.Name(), err)
@@ -316,6 +324,8 @@ func (s Solver) Allocate(ctx Context) ([]float64, error) {
 }
 
 // workloadFor resolves group i's workload under the mixed-rack option.
+//
+// ghlint:allocfree
 func (c Context) workloadFor(i int) (workload.Workload, error) {
 	if c.GroupWorkloads == nil {
 		return c.Workload, nil
@@ -331,7 +341,10 @@ func (c Context) workloadFor(i int) (workload.Workload, error) {
 // ErrNotProfiled. The policies read only the projection fields (bounds,
 // curve, efficiency) — never the sample window — so with a Scratch the
 // entries are refreshed in place with zero steady-state allocations;
-// without one each call builds a fresh slice.
+// without one each call builds a fresh slice (the cold `sc == nil`
+// branch).
+//
+// ghlint:allocfree
 func dbEntries(ctx Context) ([]profiledb.Entry, error) {
 	if len(ctx.Groups) == 0 {
 		return nil, fmt.Errorf("%w: no groups", ErrBadContext)
@@ -339,8 +352,11 @@ func dbEntries(ctx Context) ([]profiledb.Entry, error) {
 	if ctx.DB == nil {
 		return nil, fmt.Errorf("%w: nil database", ErrBadContext)
 	}
-	out := make([]profiledb.Entry, len(ctx.Groups))
-	if sc := ctx.Scratch; sc != nil {
+	sc := ctx.Scratch
+	var out []profiledb.Entry
+	if sc == nil {
+		out = make([]profiledb.Entry, len(ctx.Groups))
+	} else {
 		sc.ensure(len(ctx.Groups))
 		out = sc.entries
 	}

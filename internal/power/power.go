@@ -99,17 +99,23 @@ type Plan struct {
 }
 
 // SupplyW is the total power delivered to the servers.
+//
+// ghlint:allocfree
 func (p Plan) SupplyW() float64 {
 	return p.LoadRenewableW + p.LoadBatteryW + p.LoadGridW
 }
 
 // GridW is the total grid draw (load + charging).
+//
+// ghlint:allocfree
 func (p Plan) GridW() float64 {
 	return p.LoadGridW + p.ChargeGridW
 }
 
 // Select plans the epoch's source mix. It is a pure function of its
 // inputs: the simulator applies the plan to the battery afterwards.
+//
+// ghlint:allocfree
 func Select(in Inputs) (Plan, error) {
 	if in.RenewableW < 0 || in.DemandW < 0 || in.BatteryDischargeW < 0 ||
 		in.BatteryChargeW < 0 || in.GridBudgetW < 0 {
@@ -164,6 +170,8 @@ func Select(in Inputs) (Plan, error) {
 
 // dischargeable is the battery power available for the load this epoch,
 // honoring the recovery lockout.
+//
+// ghlint:allocfree
 func dischargeable(in Inputs) float64 {
 	if in.DischargeLockout {
 		return 0
@@ -171,6 +179,7 @@ func dischargeable(in Inputs) float64 {
 	return in.BatteryDischargeW
 }
 
+// ghlint:allocfree
 func min(a, b float64) float64 {
 	if a < b {
 		return a

@@ -61,6 +61,8 @@ type Entry struct {
 // Predict evaluates the projection with the paper's clamping: zero below
 // idle power, constant beyond the effective peak, floored at zero
 // (a noisy fit must never project negative throughput).
+//
+// ghlint:allocfree
 func (e *Entry) Predict(powerW float64) float64 {
 	if powerW < e.IdleW {
 		return 0
@@ -77,6 +79,8 @@ func (e *Entry) Predict(powerW float64) float64 {
 
 // EnergyEfficiency is the projected throughput per watt at the effective
 // peak, the ranking key of the GreenHetero-p policy.
+//
+// ghlint:allocfree
 func (e *Entry) EnergyEfficiency() float64 {
 	if e.PeakEffW <= 0 {
 		return 0
@@ -180,6 +184,8 @@ func (db *DB) Projection(k Key) (Entry, error) {
 // ProjectionInto is Projection writing into out, reusing out's
 // coefficient capacity — the per-epoch policy path calls it once per
 // group with a scratch Entry and performs no steady-state allocations.
+//
+// ghlint:allocfree
 func (db *DB) ProjectionInto(k Key, out *Entry) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -231,6 +237,8 @@ func (db *DB) AddTrainingRun(k Key, idleW, peakEffW float64, samples []fit.Sampl
 
 // AddFeedback appends runtime feedback samples and reconstructs the
 // projection over old and new samples together (Algorithm 1 lines 8–10).
+//
+// ghlint:allocfree
 func (db *DB) AddFeedback(k Key, samples ...fit.Sample) error {
 	if len(samples) == 0 {
 		return nil
@@ -323,6 +331,8 @@ func fitCurve(samples []fit.Sample) (fit.Poly, error) {
 // quadratic-then-linear ladder with the same error wrapping, fed from
 // the accumulator instead of re-walking the window. Bit-identical to
 // fitCurve(e.Samples) by the accumulator's equivalence contract.
+//
+// ghlint:allocfree
 func refitEntry(e *Entry) (fit.Poly, error) {
 	if len(e.Samples) >= 4 {
 		if p, err := e.acc.Fit(e.Samples, 2); err == nil {

@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Class broadly distinguishes processing hardware.
@@ -119,15 +120,38 @@ func (s Spec) States() []PowerState {
 // target to a state every epoch — rebuilding the ladder (with its
 // per-level Pow and Sprintf) on each enforcement dominated the epoch
 // hot path before caching.
+//
+// The cache is bounded at statesCacheCap entries. The catalog holds six
+// specs and a rack at most three, but experiment sweeps fabricate
+// synthetic specs freely; an unbounded memo would grow for the process
+// lifetime. Past the cap, new specs are served freshly-built ladders —
+// correct, just unmemoized. The bound is approximate under concurrency:
+// racing first-time builders can overshoot by at most the number of
+// racing goroutines.
 var statesCache sync.Map // Spec → []PowerState
+
+// statesCacheCap bounds statesCache (see its doc).
+const statesCacheCap = 64
+
+// statesCacheLen counts statesCache entries (approximately, see
+// statesCache's doc).
+var statesCacheLen atomic.Int64
 
 // cachedStates returns the memoized state set. The returned slice is
 // shared: callers must not mutate it (States hands external callers a
 // copy).
+//
+// ghlint:allocfree
 func (s Spec) cachedStates() []PowerState {
-	if v, ok := statesCache.Load(s); ok {
+	if v, ok := statesCache.Load(s); ok { //lint:ghlint ignore allocfree the Spec key boxes into sync.Map.Load — the lookup's one budgeted allocation
 		return v.([]PowerState)
 	}
+	return s.buildStates() //lint:ghlint ignore allocfree cold first build per Spec, memoized below the cache cap
+}
+
+// buildStates computes the ladder and memoizes it while the cache has
+// room.
+func (s Spec) buildStates() []PowerState {
 	const sleepW = 4.0
 	const dvfsExp = 2.2
 	states := make([]PowerState, 0, s.DVFSLevels+1)
@@ -144,14 +168,22 @@ func (s Spec) cachedStates() []PowerState {
 			Watts:   w,
 		})
 	}
-	v, _ := statesCache.LoadOrStore(s, states)
-	return v.([]PowerState)
+	if statesCacheLen.Load() >= statesCacheCap {
+		return states
+	}
+	if v, loaded := statesCache.LoadOrStore(s, states); loaded {
+		return v.([]PowerState)
+	}
+	statesCacheLen.Add(1)
+	return states
 }
 
 // StateForPower implements the paper's linear mapping from a power target
 // to a position in S_N (§IV-B.4): targets at or above peak select the
 // highest state, targets below the lowest running state select sleep, and
 // anything between is linearly scaled to a state index.
+//
+// ghlint:allocfree
 func (s Spec) StateForPower(targetW float64) PowerState {
 	states := s.cachedStates()
 	lo := states[1].Watts // lowest running state
@@ -267,7 +299,15 @@ func (r *Rack) Groups() []Group {
 }
 
 // NumGroups reports how many heterogeneous groups the rack holds.
+//
+// ghlint:allocfree
 func (r *Rack) NumGroups() int { return len(r.groups) }
+
+// Group returns the i'th group by value, letting per-epoch paths iterate
+// the rack without the defensive copy Groups makes.
+//
+// ghlint:allocfree
+func (r *Rack) Group(i int) Group { return r.groups[i] }
 
 // Servers reports the total server count.
 func (r *Rack) Servers() int {

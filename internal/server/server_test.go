@@ -251,3 +251,51 @@ func TestClassString(t *testing.T) {
 		t.Errorf("unknown = %v", Class(7))
 	}
 }
+
+// TestStatesCacheBounded pins the statesCache eviction contract: the
+// memo never exceeds statesCacheCap entries, and specs served past the
+// cap still get correct (just unmemoized) state ladders.
+func TestStatesCacheBounded(t *testing.T) {
+	base, err := Lookup(XeonE52620)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn far more synthetic specs than the cap holds, as a fleet-gen
+	// sweep would.
+	var over Spec
+	for i := 0; i < statesCacheCap+16; i++ {
+		s := base
+		s.PeakW = base.PeakW + float64(i) // distinct comparable key per spec
+		s.StateForPower(100)
+		over = s
+	}
+	var n int
+	statesCache.Range(func(_, _ any) bool { n++; return true })
+	if n > statesCacheCap {
+		t.Fatalf("statesCache holds %d entries, cap is %d", n, statesCacheCap)
+	}
+	if got := statesCacheLen.Load(); got > statesCacheCap {
+		t.Fatalf("statesCacheLen = %d, cap is %d", got, statesCacheCap)
+	}
+	// A spec past the cap is served a freshly-built ladder identical to
+	// the memoized shape: same length, monotone watts, sleep first.
+	states := over.States()
+	if len(states) != over.DVFSLevels+1 {
+		t.Fatalf("over-cap spec: %d states, want %d", len(states), over.DVFSLevels+1)
+	}
+	if states[0].Name != "sleep" {
+		t.Fatalf("over-cap spec: first state %q, want sleep", states[0].Name)
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i].Watts < states[i-1].Watts {
+			t.Fatalf("over-cap spec: watts not monotone at %d: %v < %v", i, states[i].Watts, states[i-1].Watts)
+		}
+	}
+	// Determinism: two uncached builds agree.
+	again := over.States()
+	for i := range states {
+		if states[i] != again[i] {
+			t.Fatalf("over-cap spec: rebuild differs at state %d: %+v vs %+v", i, states[i], again[i])
+		}
+	}
+}

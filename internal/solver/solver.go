@@ -36,7 +36,12 @@ type GroupModel struct {
 	PeakEffW float64
 	// Perf projects one server's throughput from its allocated power.
 	// It must honor the clamping semantics (0 below IdleW, constant
-	// above PeakEffW); profiledb.Entry.Predict does.
+	// above PeakEffW); profiledb.Entry.Predict does. The allocfree
+	// annotation makes the field a verified contract: the solver's hot
+	// loops call Perf millions of times per epoch, so every binding is
+	// statically checked to be allocation-free.
+	//
+	// ghlint:allocfree
 	Perf func(perServerW float64) float64
 	// Coeffs, when non-nil, declares that Perf is a pure function fully
 	// determined by (IdleW, PeakEffW, Coeffs) — true of a profiledb
@@ -79,6 +84,7 @@ type Options struct {
 	RefinePasses int
 }
 
+// ghlint:allocfree
 func (o Options) withDefaults() Options {
 	if o.GridStep <= 0 || o.GridStep > 0.5 {
 		o.GridStep = 0.01
@@ -93,6 +99,8 @@ func (o Options) withDefaults() Options {
 
 // validate rejects malformed solver inputs; shared by Optimize and
 // Warm.Optimize so both paths report identical errors.
+//
+// ghlint:allocfree
 func validate(models []GroupModel, supplyW float64) error {
 	if len(models) == 0 {
 		return ErrNoGroups
@@ -142,6 +150,8 @@ type search struct {
 }
 
 // objective projects aggregate throughput for a PAR vector.
+//
+// ghlint:allocfree
 func (s *search) objective(fracs []float64) float64 {
 	s.evals++
 	var total float64

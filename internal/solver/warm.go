@@ -52,6 +52,8 @@ type Warm struct {
 
 // Optimize is Optimize with warm-start: identical contract and results,
 // reusing this Warm's cache and scratch buffers.
+//
+// ghlint:allocfree
 func (w *Warm) Optimize(models []GroupModel, supplyW float64, opts Options) (Result, error) {
 	if err := validate(models, supplyW); err != nil {
 		return Result{}, err
@@ -61,7 +63,7 @@ func (w *Warm) Optimize(models []GroupModel, supplyW float64, opts Options) (Res
 	if key, ok := w.encodeKey(models, supplyW, o); ok {
 		if w.memoOK && bytesEqual(key, w.key) {
 			return Result{
-				Fractions:     append([]float64(nil), w.memo.Fractions...),
+				Fractions:     append([]float64(nil), w.memo.Fractions...), //lint:ghlint ignore allocfree the caller-owned Fractions copy is the one budgeted per-epoch allocation (Result contract)
 				PredictedPerf: w.memo.PredictedPerf,
 				Evaluations:   w.memo.Evaluations,
 			}, nil
@@ -87,6 +89,8 @@ func (w *Warm) Invalidate() { w.memoOK = false }
 
 // encodeKey serializes everything the search reads into w.keyBuf.
 // Reports false when any model omits Coeffs (Perf not declared pure).
+//
+// ghlint:allocfree
 func (w *Warm) encodeKey(models []GroupModel, supplyW float64, o Options) ([]byte, bool) {
 	for i := range models {
 		if models[i].Coeffs == nil {
@@ -114,13 +118,15 @@ func (w *Warm) encodeKey(models []GroupModel, supplyW float64, o Options) ([]byt
 
 // solve runs the accelerated search. Inputs are already validated and
 // defaulted.
+//
+// ghlint:allocfree
 func (w *Warm) solve(models []GroupModel, supplyW float64, o Options) Result {
 	s := search{models: models, supplyW: supplyW}
 	best := w.gridSearchFast(&s, o.GridStep)
 	best = w.refineInto(&s, best, o.GridStep, o.RefinePasses)
 	fracs := w.trimInto(&s, best.fracs)
 	return Result{
-		Fractions:     append([]float64(nil), fracs...),
+		Fractions:     append([]float64(nil), fracs...), //lint:ghlint ignore allocfree the caller-owned Fractions copy is the one budgeted per-epoch allocation (Result contract)
 		PredictedPerf: best.perf,
 		Evaluations:   s.evals,
 	}
@@ -128,6 +134,8 @@ func (w *Warm) solve(models []GroupModel, supplyW float64, o Options) Result {
 
 // groupValue is one group's objective contribution at fraction f —
 // the exact expression the reference objective evaluates per point.
+//
+// ghlint:allocfree
 func groupValue(m *GroupModel, f, supplyW float64) float64 {
 	perServer := f * supplyW / float64(m.Count)
 	return float64(m.Count) * m.Perf(perServer)
@@ -150,6 +158,8 @@ func groupValue(m *GroupModel, f, supplyW float64) float64 {
 // of re-invoking Perf, and FP monotonicity of the residual expression
 // makes the segment boundaries exact — every point's total is still
 // the reference's bits.
+//
+// ghlint:allocfree
 func (w *Warm) gridSearchFast(s *search, step float64) candidate {
 	n := len(s.models)
 	steps := int(1/step + 0.5)
@@ -260,6 +270,8 @@ func (w *Warm) gridSearchFast(s *search, step float64) candidate {
 
 // fillTables precomputes groups 0..n-2's contributions at every grid
 // value, reusing one backing buffer across calls.
+//
+// ghlint:allocfree
 func (w *Warm) fillTables(s *search, steps int, step float64) {
 	n := len(s.models)
 	tabled := n - 1
@@ -284,6 +296,8 @@ func (w *Warm) fillTables(s *search, steps int, step float64) {
 // refineInto is the reference refine with the pass-local fraction
 // vector taken from reused scratch instead of a per-call allocation.
 // The arithmetic, iteration order, and acceptance rule are identical.
+//
+// ghlint:allocfree
 func (w *Warm) refineInto(s *search, c candidate, step float64, passes int) candidate {
 	n := len(s.models)
 	if n == 1 {
@@ -330,6 +344,8 @@ func (w *Warm) refineInto(s *search, c candidate, step float64, passes int) cand
 }
 
 // trimInto is the reference trim writing into reused scratch.
+//
+// ghlint:allocfree
 func (w *Warm) trimInto(s *search, fracs []float64) []float64 {
 	if cap(w.trimmed) < len(fracs) {
 		w.trimmed = make([]float64, len(fracs))
@@ -350,6 +366,7 @@ func (w *Warm) trimInto(s *search, fracs []float64) []float64 {
 	return out
 }
 
+// ghlint:allocfree
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {
 		return false

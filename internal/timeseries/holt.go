@@ -15,8 +15,18 @@ import (
 // (the seasonal extension) both implement it; the paper notes "any other
 // proven prediction approaches can be integrated into our prediction
 // framework" (§IV-B.1).
+//
+// The controller calls both methods every scheduling epoch, so they are
+// annotated allocfree contracts: every in-program implementation is
+// statically verified allocation-free.
 type Predictor interface {
+	// Observe feeds one measured sample into the smoother.
+	//
+	// ghlint:allocfree
 	Observe(o float64)
+	// Forecast returns the one-step-ahead prediction.
+	//
+	// ghlint:allocfree
 	Forecast() (float64, error)
 }
 
@@ -65,6 +75,8 @@ func (h *Holt) Alpha() float64 { return h.alpha }
 func (h *Holt) Beta() float64 { return h.beta }
 
 // Observe feeds one observation Oₜ from the Monitor into the smoother.
+//
+// ghlint:allocfree
 func (h *Holt) Observe(o float64) {
 	switch h.primed {
 	case 0:
@@ -81,6 +93,8 @@ func (h *Holt) Observe(o float64) {
 }
 
 // Forecast returns the one-step-ahead prediction Pₜ₊₁ = Sₜ + Bₜ.
+//
+// ghlint:allocfree
 func (h *Holt) Forecast() (float64, error) {
 	if h.primed < 2 {
 		return 0, ErrNotPrimed

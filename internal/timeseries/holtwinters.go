@@ -54,6 +54,8 @@ func (h *HoltWinters) Period() int { return h.period }
 
 // Observe feeds one observation. The first season initializes the
 // seasonal indices around the running mean; smoothing begins afterwards.
+//
+// ghlint:allocfree
 func (h *HoltWinters) Observe(o float64) {
 	idx := h.primed % h.period
 	if h.primed < h.period {
@@ -78,6 +80,8 @@ func (h *HoltWinters) Observe(o float64) {
 
 // Forecast returns the one-step-ahead seasonal prediction, floored at
 // zero for power series (generation cannot be negative).
+//
+// ghlint:allocfree
 func (h *HoltWinters) Forecast() (float64, error) {
 	if h.primed < h.period {
 		return 0, ErrNotPrimed
