@@ -2,10 +2,14 @@
 // macro-scenarios (a year of 15-minute epochs on the paper's rack
 // combinations, adaptive GreenHetero policy end to end) and reports
 // epochs/sec, per-epoch latency percentiles, and per-epoch allocation
-// rates. Its JSON output is the repository's benchmark trajectory: each
-// perf PR commits a `BENCH_PR<n>.json` baseline at the repo root, and CI
-// re-runs the quick scenarios with `-gate` against the committed file,
-// failing on an epochs/sec regression beyond the tolerance.
+// rates. Fleet scenarios drive the site coordinator instead of a single
+// session; for those, epochsPerSec counts rack·epochs per second and the
+// latency columns are the mean site epoch (the coordinator's epoch loop
+// is not observable from outside cluster.Run). Its JSON output is the
+// repository's benchmark trajectory: each perf PR commits a
+// `BENCH_PR<n>.json` baseline at the repo root, and CI re-runs the quick
+// scenarios with `-gate` against the committed file, failing on an
+// epochs/sec regression beyond the tolerance.
 //
 // Usage:
 //
@@ -28,6 +32,7 @@ import (
 	"sort"
 	"time"
 
+	"greenhetero/internal/cluster"
 	"greenhetero/internal/policy"
 	"greenhetero/internal/server"
 	"greenhetero/internal/sim"
@@ -42,10 +47,13 @@ const Schema = "greenhetero-bench/v1"
 // -gate fails (the ISSUE 6 policy: >15 % fails).
 const GateTolerance = 0.15
 
-// ScenarioResult is one macro-scenario's measurement.
+// ScenarioResult is one macro-scenario's measurement. Racks is set only
+// for fleet scenarios; there EpochsPerSec counts rack·epochs per second
+// and the allocation rates are per rack·epoch.
 type ScenarioResult struct {
 	Name           string  `json:"name"`
 	Epochs         int     `json:"epochs"`
+	Racks          int     `json:"racks,omitempty"`
 	EpochsPerSec   float64 `json:"epochsPerSec"`
 	NsPerEpochP50  int64   `json:"nsPerEpochP50"`
 	NsPerEpochP99  int64   `json:"nsPerEpochP99"`
@@ -61,28 +69,35 @@ type Report struct {
 	Scenarios []ScenarioResult `json:"scenarios"`
 }
 
-// scenario is a named macro-scenario builder.
+// scenario is a named macro-scenario builder. racks > 0 makes it a
+// fleet scenario: that many rack replicas run under the site coordinator
+// (hierarchical-par allocator, per-CPU parallelism) instead of one
+// sim.Session.
 type scenario struct {
 	name   string
 	days   int
 	combo  []string // server catalog ids, 5 servers per group (Table IV)
 	policy policy.Policy
+	racks  int
 }
 
 // scenarios returns the macro-scenario set. Quick mode keeps only the
 // short variants (CI-sized); the full set adds the year-long runs whose
-// numbers headline BENCH_PR6.json.
+// numbers headline BENCH_PR6.json and the week-long fleet run behind
+// BENCH_PR8.json.
 func scenarios(quick bool) []scenario {
 	quickSet := []scenario{
-		{"quick-4d-comb1", 4, []string{server.XeonE52620, server.CoreI54460}, policy.Solver{Adaptive: true}},
-		{"quick-4d-comb5", 4, []string{server.XeonE52620, server.XeonE52603, server.CoreI54460}, policy.Solver{Adaptive: true}},
+		{"quick-4d-comb1", 4, []string{server.XeonE52620, server.CoreI54460}, policy.Solver{Adaptive: true}, 0},
+		{"quick-4d-comb5", 4, []string{server.XeonE52620, server.XeonE52603, server.CoreI54460}, policy.Solver{Adaptive: true}, 0},
+		{"quick-fleet-64", 1, []string{server.XeonE52620, server.CoreI54460}, policy.Solver{Adaptive: true}, 64},
 	}
 	if quick {
 		return quickSet
 	}
 	return append(quickSet,
-		scenario{"year-comb1", 365, []string{server.XeonE52620, server.CoreI54460}, policy.Solver{Adaptive: true}},
-		scenario{"year-comb5", 365, []string{server.XeonE52620, server.XeonE52603, server.CoreI54460}, policy.Solver{Adaptive: true}},
+		scenario{"year-comb1", 365, []string{server.XeonE52620, server.CoreI54460}, policy.Solver{Adaptive: true}, 0},
+		scenario{"year-comb5", 365, []string{server.XeonE52620, server.XeonE52603, server.CoreI54460}, policy.Solver{Adaptive: true}, 0},
+		scenario{"week-fleet-64", 7, []string{server.XeonE52620, server.CoreI54460}, policy.Solver{Adaptive: true}, 64},
 	)
 }
 
@@ -156,8 +171,12 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runScenario builds the rack, tiles the solar trace to the scenario
-// length, and times every Session.Step.
+// length, and times every Session.Step. Fleet scenarios route through
+// runFleetScenario instead.
 func runScenario(sc scenario, seed int64, epochsOverride int) (ScenarioResult, error) {
+	if sc.racks > 0 {
+		return runFleetScenario(sc, seed, epochsOverride)
+	}
 	groups := make([]server.Group, 0, len(sc.combo))
 	for _, id := range sc.combo {
 		spec, err := server.Lookup(id)
@@ -228,6 +247,84 @@ func runScenario(sc scenario, seed int64, epochsOverride int) (ScenarioResult, e
 		BytesPerEpoch:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(n),
 	}
 	return res, nil
+}
+
+// runFleetScenario replicates the combo rack sc.racks times and times
+// one cluster.Run through the site coordinator: hierarchical-par
+// allocator, shared site battery, per-CPU rack parallelism. The site PV
+// plant and grid budget scale with the rack count so the per-rack
+// operating point matches the single-rack scenarios. cluster.Run owns
+// the epoch loop, so the latency columns report the mean site epoch
+// rather than sampled percentiles, and the throughput and allocation
+// rates are per rack·epoch.
+func runFleetScenario(sc scenario, seed int64, epochsOverride int) (ScenarioResult, error) {
+	groups := make([]server.Group, 0, len(sc.combo))
+	for _, id := range sc.combo {
+		spec, err := server.Lookup(id)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		groups = append(groups, server.Group{Spec: spec, Count: 5})
+	}
+	tr, err := solar.Generate(solar.Config{
+		Profile:   solar.High,
+		PeakWatts: 2200 * float64(sc.racks),
+		Days:      sc.days,
+		Step:      15 * time.Minute,
+		Seed:      1,
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	w, err := workload.Lookup(workload.SPECjbb)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	racks := make([]cluster.RackConfig, sc.racks)
+	for i := range racks {
+		rack, err := server.NewRack(fmt.Sprintf("ghperf-%s-%03d", sc.name, i), groups...)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		racks[i] = cluster.RackConfig{Rack: rack, Workload: w, Policy: sc.policy}
+	}
+	epochs := tr.Len()
+	if epochsOverride > 0 && epochsOverride < epochs {
+		epochs = epochsOverride
+	}
+	cfg := cluster.Config{
+		Racks:           racks,
+		Solar:           tr,
+		Allocator:       cluster.HierarchicalPAR{},
+		SiteGridBudgetW: 1000 * float64(sc.racks),
+		Epochs:          epochs,
+		Seed:            seed,
+	}
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	total := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	n := len(res.Site)
+	rackEpochs := float64(n) * float64(sc.racks)
+	meanNs := total.Nanoseconds() / int64(n)
+	return ScenarioResult{
+		Name:           sc.name,
+		Epochs:         n,
+		Racks:          sc.racks,
+		EpochsPerSec:   rackEpochs / total.Seconds(),
+		NsPerEpochP50:  meanNs,
+		NsPerEpochP99:  meanNs,
+		AllocsPerEpoch: float64(msAfter.Mallocs-msBefore.Mallocs) / rackEpochs,
+		BytesPerEpoch:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / rackEpochs,
+	}, nil
 }
 
 // checkGate compares rep against the committed baseline, scenario name

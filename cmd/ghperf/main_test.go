@@ -184,8 +184,8 @@ func TestRunQuickJSON(t *testing.T) {
 	if rep.Schema != Schema {
 		t.Errorf("report schema = %q, want %q", rep.Schema, Schema)
 	}
-	if len(rep.Scenarios) != 2 {
-		t.Fatalf("quick run produced %d scenarios, want 2", len(rep.Scenarios))
+	if len(rep.Scenarios) != 3 {
+		t.Fatalf("quick run produced %d scenarios, want 2 single-rack + 1 fleet", len(rep.Scenarios))
 	}
 	for _, s := range rep.Scenarios {
 		if s.Epochs != 3 {
@@ -194,6 +194,9 @@ func TestRunQuickJSON(t *testing.T) {
 		if s.EpochsPerSec <= 0 {
 			t.Errorf("%s reports %v epochs/sec, want > 0", s.Name, s.EpochsPerSec)
 		}
+	}
+	if fleet := rep.Scenarios[2]; fleet.Name != "quick-fleet-64" || fleet.Racks != 64 {
+		t.Errorf("fleet scenario = %+v, want quick-fleet-64 with 64 racks", fleet)
 	}
 	onDisk, err := os.ReadFile(outFile)
 	if err != nil {
@@ -213,7 +216,21 @@ func TestRunQuickJSON(t *testing.T) {
 	if err := run([]string{"-quick", "-epochs", "3", "-gate", slowFile}, &gateOut); err != nil {
 		t.Fatalf("gate run against slowed baseline failed: %v\n%s", err, gateOut.String())
 	}
-	if got := strings.Count(gateOut.String(), "gate "); got != 2 {
-		t.Errorf("gate run compared %d scenarios, want 2:\n%s", got, gateOut.String())
+	if got := strings.Count(gateOut.String(), "gate "); got != 3 {
+		t.Errorf("gate run compared %d scenarios, want 3:\n%s", got, gateOut.String())
+	}
+}
+
+// TestRacksFieldOmitted pins the wire shape: single-rack entries must
+// not grow a "racks" key (old baselines round-trip unchanged), fleet
+// entries must carry one.
+func TestRacksFieldOmitted(t *testing.T) {
+	single, _ := json.Marshal(ScenarioResult{Name: "s", Epochs: 1})
+	if strings.Contains(string(single), "racks") {
+		t.Errorf("single-rack scenario JSON has a racks key: %s", single)
+	}
+	fleet, _ := json.Marshal(ScenarioResult{Name: "f", Epochs: 1, Racks: 64})
+	if !strings.Contains(string(fleet), `"racks":64`) {
+		t.Errorf("fleet scenario JSON missing racks key: %s", fleet)
 	}
 }

@@ -10,6 +10,11 @@
 //
 // With -compare, all five Table III policies run on identical conditions
 // and a comparison summary is printed instead of the epoch record.
+//
+// With -fleet N, N replicas of the rack run as a fleet under the site
+// coordinator: each epoch a site allocator (-alloc) splits the shared
+// PV feed, site battery bank, and site grid budget (-site-grid) across
+// racks, and the site-level epoch trace is printed.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"greenhetero/internal/cluster"
 	"greenhetero/internal/policy"
 	"greenhetero/internal/scenario"
 	"greenhetero/internal/server"
@@ -60,6 +66,9 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "concurrent runs for -compare (0 = one per CPU, 1 = serial)")
 	csvPath := fs.String("csv", "", "also write the per-epoch record to this CSV file")
 	scenarioPath := fs.String("scenario", "", "load the run from a JSON scenario file (overrides combo/workload/trace flags)")
+	fleetN := fs.Int("fleet", 0, "run N rack replicas as a fleet under the site coordinator")
+	allocFlag := fs.String("alloc", "hierarchical-par", "fleet allocator: uniform, demand-proportional, hierarchical-par")
+	siteGrid := fs.Float64("site-grid", 0, "site grid budget (W) for -fleet (0 = grid × racks)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +80,22 @@ func run(args []string) error {
 		sc, err := scenario.LoadFile(*scenarioPath)
 		if err != nil {
 			return err
+		}
+		if sc.Fleet != nil {
+			if *compare {
+				return errors.New("fleet scenarios do not support -compare")
+			}
+			fcfg, err := sc.BuildFleet()
+			if err != nil {
+				return err
+			}
+			fcfg.Parallelism = *parallel
+			res, err := cluster.Run(fcfg)
+			if err != nil {
+				return err
+			}
+			printFleet(res, *every)
+			return nil
 		}
 		cfg, err := sc.Build()
 		if err != nil {
@@ -119,6 +144,46 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *fleetN > 0 {
+		if *compare {
+			return errors.New("-fleet does not support -compare")
+		}
+		p, err := policy.ByName(*policyFlag)
+		if err != nil {
+			return err
+		}
+		alloc, err := cluster.AllocatorByName(*allocFlag)
+		if err != nil {
+			return err
+		}
+		racks := make([]cluster.RackConfig, *fleetN)
+		for i := range racks {
+			r, err := server.NewRack(fmt.Sprintf("%s-%03d", strings.ToLower(*comboFlag), i), groups...)
+			if err != nil {
+				return err
+			}
+			racks[i] = cluster.RackConfig{Rack: r, Workload: w, Policy: p}
+		}
+		sg := *siteGrid
+		if sg == 0 {
+			sg = *grid * float64(*fleetN)
+		}
+		res, err := cluster.Run(cluster.Config{
+			Racks:           racks,
+			Solar:           tr,
+			Allocator:       alloc,
+			SiteGridBudgetW: sg,
+			Epochs:          *epochs,
+			Seed:            *seed,
+			Parallelism:     *parallel,
+		})
+		if err != nil {
+			return err
+		}
+		printFleet(res, *every)
+		return nil
+	}
+
 	cfg := sim.Config{
 		Rack:        rack,
 		Workload:    w,
@@ -186,6 +251,28 @@ func printRun(res *sim.Result, every int) {
 	fmt.Printf("mean perf=%.0f (scarce %.0f)  mean EPU=%.3f (scarce %.3f)  mean PAR=%.0f%%  grid=%.0f Wh\n",
 		res.MeanPerf(), res.MeanPerfScarce(), res.MeanEPU(), res.MeanEPUScarce(),
 		res.MeanPAR()*100, res.GridEnergyWh())
+}
+
+// printFleet prints the site-level epoch trace and fleet summary.
+func printFleet(res *cluster.FleetResult, every int) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "epoch\thour\tren(W)\tbid(W)\tsupply(W)\tgrid(W)\tbatt out\tbatt in\tSoC")
+	for i, e := range res.Site {
+		if i%every != 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.2f\n",
+			e.Epoch, float64(e.Epoch)/4, e.RenewableW, e.BidW, e.SupplyW,
+			e.GridW, e.BatteryOutW, e.BatteryInW, e.BatterySoC)
+	}
+	tw.Flush()
+	fmt.Printf("\nallocator=%s racks=%d epochs=%d\n", res.Allocator, len(res.Racks), len(res.Site))
+	fmt.Printf("fleet perf=%.0f (scarce %.0f)  mean EPU=%.3f  grid=%.0f Wh  battery cycles=%d\n",
+		res.TotalPerf(), res.TotalPerfScarce(), res.MeanEPU(), res.TotalGridWh(), res.BatteryCycles)
+	for _, r := range res.Racks {
+		fmt.Printf("  %-16s perf=%.0f  EPU=%.3f  grid=%.0f Wh\n",
+			r.Name, r.Result.MeanPerf(), r.Result.MeanEPU(), r.Result.GridEnergyWh())
+	}
 }
 
 func runCompare(cfg sim.Config, parallel int) error {

@@ -69,6 +69,50 @@ func TestRatioHelper(t *testing.T) {
 	}
 }
 
+func TestRunFleet(t *testing.T) {
+	if err := run([]string{"-fleet", "4", "-epochs", "8"}); err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if err := run([]string{"-fleet", "3", "-alloc", "demand-proportional", "-site-grid", "2400", "-epochs", "8"}); err != nil {
+		t.Fatalf("fleet demand run: %v", err)
+	}
+	if err := run([]string{"-fleet", "2", "-alloc", "nope", "-epochs", "8"}); err == nil {
+		t.Error("unknown allocator should error")
+	}
+	if err := run([]string{"-fleet", "2", "-compare", "-epochs", "8"}); err == nil {
+		t.Error("-fleet with -compare should error")
+	}
+}
+
+func TestRunFleetScenarioFile(t *testing.T) {
+	doc := `{
+  "name": "cli-fleet",
+  "solar": {"profile": "high", "peakWatts": 9000, "days": 1, "seed": 2},
+  "epochs": 12,
+  "seed": 7,
+  "fleet": {
+    "allocator": "hierarchical-par",
+    "siteGridBudgetW": 4000,
+    "racks": [
+      {"name": "web", "count": 2, "policy": "GreenHetero",
+       "groups": [{"server": "e5-2620", "count": 5, "workload": "specjbb"}]},
+      {"name": "batch", "policy": "GreenHetero",
+       "groups": [{"server": "i5-4460", "count": 8, "workload": "canneal"}]}
+    ]
+  }
+}`
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-every", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-compare"}); err == nil {
+		t.Error("fleet scenario with -compare should error")
+	}
+}
+
 func TestRunScenarioFile(t *testing.T) {
 	doc := `{
   "name": "cli-scenario",

@@ -67,12 +67,47 @@ func LifetimeYears(cycles int, observed time.Duration) float64 {
 	return RatedCycles / perYear
 }
 
+// Store is the battery abstraction the controller drives each epoch:
+// budget queries before the source-selection plan, then at most one of
+// Discharge or Charge when the enforcer applies it. *Bank implements it
+// directly; *Lease implements it over a per-rack slice of a shared
+// SiteBank. All methods are on the epoch hot path and must stay
+// allocation-free.
+type Store interface {
+	// SoC reports the state of charge in [0, 1].
+	//
+	// ghlint:allocfree
+	SoC() float64
+	// AtDoD reports whether the store is pinned at its DoD floor.
+	//
+	// ghlint:allocfree
+	AtDoD() bool
+	// AvailableDischargeW is the maximum power sustainable for d.
+	//
+	// ghlint:allocfree
+	AvailableDischargeW(d time.Duration) float64
+	// AcceptableChargeW is the maximum source-side charging power for d.
+	//
+	// ghlint:allocfree
+	AcceptableChargeW(d time.Duration) float64
+	// Discharge drains up to requestW for d, returning delivered power.
+	//
+	// ghlint:allocfree
+	Discharge(requestW float64, d time.Duration) float64
+	// Charge absorbs up to offerW source-side watts for d, returning the
+	// power actually consumed.
+	//
+	// ghlint:allocfree
+	Charge(offerW float64, d time.Duration, src Source) float64
+}
+
 // Bank is a battery bank. Not safe for concurrent use; the simulator
 // owns it single-threaded, and the controller sees only snapshots.
 type Bank struct {
 	cfg      Config
 	chargeWh float64 // current stored energy
 	floorWh  float64 // minimum stored energy (DoD floor)
+	epsWh    float64 // comparison tolerance, scaled to capacity
 
 	cycles        int
 	atFloor       bool // latched while resting at the floor
@@ -96,10 +131,21 @@ func New(cfg Config) (*Bank, error) {
 	if cfg.MaxChargeW < 0 || cfg.MaxDischargeW < 0 {
 		return nil, fmt.Errorf("%w: negative power cap", ErrBadConfig)
 	}
+	// The floor/full comparisons need a tolerance for accumulated charge
+	// arithmetic rounding. A fixed 1e-9 Wh drops below one float64 ULP
+	// once capacity reaches ~12 MWh (ULP(1.2e7) ≈ 1.9e-9 Wh), making
+	// Full() unlatchable at site scale, so the tolerance scales with
+	// capacity; the 5e-14 factor keeps every rack-scale bank (≤ 20 kWh)
+	// on the historical 1e-9 floor, bit-identical with prior releases.
+	eps := cfg.CapacityWh * 5e-14
+	if eps < 1e-9 {
+		eps = 1e-9
+	}
 	return &Bank{
 		cfg:      cfg,
 		chargeWh: cfg.CapacityWh,
 		floorWh:  cfg.CapacityWh * (1 - cfg.DepthOfDischarge),
+		epsWh:    eps,
 	}, nil
 }
 
@@ -118,10 +164,10 @@ func (b *Bank) SoC() float64 { return b.chargeWh / b.cfg.CapacityWh }
 // longer discharge.
 //
 // ghlint:allocfree
-func (b *Bank) AtDoD() bool { return b.chargeWh <= b.floorWh+1e-9 }
+func (b *Bank) AtDoD() bool { return b.chargeWh <= b.floorWh+b.epsWh }
 
 // Full reports whether the bank is at nameplate capacity.
-func (b *Bank) Full() bool { return b.chargeWh >= b.cfg.CapacityWh-1e-9 }
+func (b *Bank) Full() bool { return b.chargeWh >= b.cfg.CapacityWh-b.epsWh }
 
 // Cycles reports completed discharge-to-DoD cycles (paper §V-B.3 counts
 // ~2/day on the Low trace).
@@ -337,7 +383,7 @@ func (b *Bank) Charge(offerW float64, d time.Duration, src Source) float64 {
 	if src == SourceGrid {
 		b.gridChargedWh += stored
 	}
-	if b.chargeWh > b.floorWh+1e-9 {
+	if b.chargeWh > b.floorWh+b.epsWh {
 		b.atFloor = false
 	}
 	return p

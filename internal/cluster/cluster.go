@@ -1,22 +1,26 @@
 // Package cluster lifts the rack-level GreenHetero controller to a
-// multi-rack green datacenter (paper §II-A, Fig. 2). The paper argues for
-// a *distributed* deployment — one controller, PV feed, and battery bank
-// per rack, none of it shared (§IV-A) — and leaves multi-rack coordination
-// as future work. This package implements that deployment: each rack runs
-// its own controller against its own share of the site's PV output, racks
-// simulate concurrently, and the site aggregates results.
+// multi-rack green datacenter (paper §II-A, Fig. 2): a per-epoch fleet
+// coordinator. Each rack runs its own controller (the paper's
+// distributed deployment, §IV-A), but the site's PV feed, battery bank,
+// and grid budget are shared resources — so every scheduling epoch the
+// coordinator collects per-rack demand bids (believed peaks from the
+// controllers' cached projections, never ground truth), asks a site
+// Allocator for a weight vector, carves the shared battery into
+// per-rack leases, and steps every rack in parallel under its
+// allocation. This is a hierarchical version of the paper's PAR solve:
+// site-level split over rack bids, then the rack-local PAR as before.
 //
-// It also implements the one cross-rack decision the architecture leaves
-// open: how the site's PV output is split across rack PDUs. ShareUniform
-// mirrors the heterogeneity-oblivious default (every rack gets an equal
-// feed); ShareDemandProportional sizes each rack's feed to its demand —
-// the same heterogeneity-awareness GreenHetero applies within a rack,
-// applied one level up.
+// Determinism: racks step through runner.Map with a per-epoch barrier,
+// each rack's noise stream is derived via runner.DeriveSeed, bids and
+// weights are computed serially in rack order, and the shared bank is
+// settled in rack-index order after the barrier — so a fleet run is
+// bit-identical at every parallelism level.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"greenhetero/internal/battery"
 	"greenhetero/internal/policy"
@@ -27,81 +31,256 @@ import (
 	"greenhetero/internal/workload"
 )
 
-// ShareStrategy decides each rack's fraction of the site PV output.
-type ShareStrategy int
-
-const (
-	// ShareUniform gives every rack an equal PV share.
-	ShareUniform ShareStrategy = iota + 1
-	// ShareDemandProportional sizes shares by rack demand
-	// (Σ count·peakEff for the rack's workload).
-	ShareDemandProportional
-)
-
-// String implements fmt.Stringer.
-func (s ShareStrategy) String() string {
-	switch s {
-	case ShareUniform:
-		return "uniform"
-	case ShareDemandProportional:
-		return "demand-proportional"
-	default:
-		return fmt.Sprintf("ShareStrategy(%d)", int(s))
-	}
+// Supply is the site-level resource pool for one epoch, as the
+// allocator sees it.
+type Supply struct {
+	// RenewableW is the site PV output this epoch.
+	RenewableW float64
+	// BatteryDischargeW is the site bank's available discharge power.
+	BatteryDischargeW float64
+	// BatteryChargeW is the site bank's acceptable charging power.
+	BatteryChargeW float64
+	// GridBudgetW is the site grid cap.
+	GridBudgetW float64
 }
 
-// RackConfig describes one rack's deployment.
+// PotentialW is the total power the site could deliver to racks this
+// epoch (PV + battery + grid).
+func (s Supply) PotentialW() float64 {
+	return s.RenewableW + s.BatteryDischargeW + s.GridBudgetW
+}
+
+// Allocator splits the site supply across racks each epoch. Weights
+// writes one weight per rack into out (len(out) == len(bids)); weights
+// must be non-negative and sum to at most 1, and every site resource
+// (PV, battery budgets, grid) is divided by the same vector.
+// Implementations must be deterministic and allocation-free: they run
+// once per epoch inside the fleet hot loop.
+type Allocator interface {
+	// Name identifies the strategy ("uniform", "demand-proportional",
+	// "hierarchical-par").
+	Name() string
+	// Weights computes the epoch's split from the racks' demand bids
+	// (believed peak watts) and the site supply.
+	Weights(bids []float64, site Supply, out []float64) error
+}
+
+// Uniform gives every rack an equal share regardless of demand — the
+// heterogeneity-oblivious baseline.
+type Uniform struct{}
+
+// Name implements Allocator.
+func (Uniform) Name() string { return "uniform" }
+
+// Weights implements Allocator.
+func (Uniform) Weights(bids []float64, _ Supply, out []float64) error {
+	w := 1 / float64(len(out))
+	for i := range out {
+		out[i] = w
+	}
+	return nil
+}
+
+// DemandProportional sizes each rack's share by its demand bid — the
+// same heterogeneity-awareness GreenHetero applies within a rack,
+// applied one level up. Zero total demand falls back to uniform.
+type DemandProportional struct{}
+
+// Name implements Allocator.
+func (DemandProportional) Name() string { return "demand-proportional" }
+
+// Weights implements Allocator.
+func (DemandProportional) Weights(bids []float64, _ Supply, out []float64) error {
+	var total float64
+	for _, b := range bids {
+		total += b
+	}
+	if total <= 0 {
+		return Uniform{}.Weights(bids, Supply{}, out)
+	}
+	for i, b := range bids {
+		out[i] = b / total
+	}
+	return nil
+}
+
+// HierarchicalPAR water-fills the site's deliverable power over the
+// rack bids, max-min fair: when supply covers demand every rack is
+// granted its bid (demand-proportional); under scarcity all racks are
+// raised toward an equal fill level, so small racks saturate at their
+// bid and the shortfall lands on the largest bidders — the site-level
+// analogue of the paper's PAR solve, which also equalizes marginal
+// allocations under a shared budget. Weights are the normalized grants.
+type HierarchicalPAR struct{}
+
+// Name implements Allocator.
+func (HierarchicalPAR) Name() string { return "hierarchical-par" }
+
+// Weights implements Allocator.
+func (HierarchicalPAR) Weights(bids []float64, site Supply, out []float64) error {
+	var sumBids float64
+	active := 0
+	for i, b := range bids {
+		out[i] = 0
+		if b > 0 {
+			sumBids += b
+			active++
+		}
+	}
+	target := site.PotentialW()
+	if sumBids < target {
+		target = sumBids
+	}
+	if sumBids <= 0 || target <= 0 {
+		return Uniform{}.Weights(bids, Supply{}, out)
+	}
+
+	// Water-fill: repeatedly offer every unsatisfied rack an equal share
+	// of the remaining power; racks whose residual bid fits are granted
+	// fully and drop out. Each round either retires a rack (at most
+	// len(bids) rounds) or every remaining rack absorbs the full share
+	// and the loop ends.
+	remaining := target
+	for active > 0 && remaining > 0 {
+		share := remaining / float64(active)
+		progress := false
+		for i, b := range bids {
+			if b <= 0 || out[i] >= b {
+				continue
+			}
+			if need := b - out[i]; need <= share {
+				out[i] = b
+				remaining -= need
+				active--
+				progress = true
+			}
+		}
+		if !progress {
+			for i, b := range bids {
+				if b > 0 && out[i] < b {
+					out[i] += share
+				}
+			}
+			break
+		}
+	}
+
+	var granted float64
+	for _, g := range out {
+		granted += g
+	}
+	if granted <= 0 {
+		return Uniform{}.Weights(bids, Supply{}, out)
+	}
+	for i := range out {
+		out[i] /= granted
+	}
+	return nil
+}
+
+// Allocators lists the built-in strategies.
+func Allocators() []Allocator {
+	return []Allocator{Uniform{}, DemandProportional{}, HierarchicalPAR{}}
+}
+
+// AllocatorByName resolves a strategy by its Name.
+func AllocatorByName(name string) (Allocator, error) {
+	for _, a := range Allocators() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: unknown allocator %q", ErrBadConfig, name)
+}
+
+// RackConfig describes one rack's deployment. Power and storage are
+// site-level concerns (Config); a rack brings its hardware, workload,
+// and policy.
 type RackConfig struct {
-	// Rack is the rack's server composition.
+	// Rack is the rack's server composition. Rack names must be unique
+	// across the fleet.
 	Rack *server.Rack
-	// Workload runs on the rack.
+	// Workload runs on every group of the rack.
 	Workload workload.Workload
+	// GroupWorkloads, when non-nil, assigns each rack group its own
+	// workload (a mixed rack, one entry per group); Workload is then
+	// ignored. The demand bid prices each group's own workload.
+	GroupWorkloads []workload.Workload
 	// Policy allocates power within the rack.
 	Policy policy.Policy
-	// GridBudgetW caps the rack's grid feed.
-	GridBudgetW float64
-	// Battery configures the rack bank; zero value = paper default.
-	Battery battery.Config
-	// InitialSoC as in sim.Config (0 = full).
-	InitialSoC float64
 }
 
-// Config describes a datacenter run.
+// Config describes a fleet run.
 type Config struct {
 	// Racks lists the rack deployments.
 	Racks []RackConfig
-	// Solar is the site-level PV trace, divided among racks by Shares.
+	// Solar is the site-level PV trace; the allocator splits it across
+	// racks each epoch.
 	Solar *trace.Trace
-	// Shares selects the PV division strategy (default ShareUniform).
-	Shares ShareStrategy
+	// Allocator is the site split strategy (nil = Uniform).
+	Allocator Allocator
+	// SiteBattery configures the shared site bank; zero value means the
+	// paper's rack default scaled by the rack count (12 kWh per rack).
+	SiteBattery battery.Config
+	// SiteGridBudgetW caps the site's total grid draw, split by the
+	// allocator alongside the PV feed.
+	SiteGridBudgetW float64
+	// InitialSoC sets the site bank's starting state of charge (0 =
+	// full, as in the paper §V-B.1).
+	InitialSoC float64
 	// Epochs is the simulation length.
 	Epochs int
 	// Seed drives measurement noise; each rack's stream is derived from
 	// it with a stable per-rack key (runner.DeriveSeed), so racks have
-	// independent noise but the site run is reproducible bit-for-bit.
+	// independent noise but the fleet run is reproducible bit-for-bit.
 	Seed int64
-	// Parallelism bounds concurrent rack simulations: 0 = one worker
-	// per CPU, 1 = serial. Results are identical at every level.
+	// Parallelism bounds concurrent rack steps within an epoch: 0 = one
+	// worker per CPU, 1 = serial. Results are identical at every level.
 	Parallelism int
 }
 
-// ErrBadConfig is returned for invalid datacenter configurations.
+// ErrBadConfig is returned for invalid fleet configurations.
 var ErrBadConfig = errors.New("cluster: bad config")
 
 // RackResult pairs a rack's label with its simulation record.
 type RackResult struct {
-	Name    string
-	PVShare float64
-	Result  *sim.Result
+	Name   string
+	Result *sim.Result
 }
 
-// Result aggregates a datacenter run.
-type Result struct {
+// SiteEpoch records one epoch's site-level totals.
+type SiteEpoch struct {
+	Epoch int
+	// RenewableW is the site PV output offered to the allocator.
+	RenewableW float64
+	// BidW is the racks' total demand bid.
+	BidW float64
+	// SupplyW and GridW sum the racks' delivered supply and grid draw.
+	SupplyW float64
+	GridW   float64
+	// BatteryOutW and BatteryInW are the settled site-bank flows
+	// (discharge to racks; source-side charging power absorbed).
+	BatteryOutW float64
+	BatteryInW  float64
+	// BatterySoC is the site bank's state of charge after settlement.
+	BatterySoC float64
+}
+
+// FleetResult aggregates a fleet run: per-rack records plus the
+// site-level epoch trace.
+type FleetResult struct {
+	// Allocator is the strategy that produced the run.
+	Allocator string
+	// Racks holds each rack's full simulation record.
 	Racks []RackResult
+	// Site is the per-epoch site trace.
+	Site []SiteEpoch
+	// BatteryCycles counts the site bank's discharge-to-DoD cycles.
+	BatteryCycles int
 }
 
 // TotalPerf sums mean throughput across racks.
-func (r *Result) TotalPerf() float64 {
+func (r *FleetResult) TotalPerf() float64 {
 	var sum float64
 	for _, rr := range r.Racks {
 		sum += rr.Result.MeanPerf()
@@ -110,7 +289,7 @@ func (r *Result) TotalPerf() float64 {
 }
 
 // TotalPerfScarce sums scarce-epoch mean throughput across racks.
-func (r *Result) TotalPerfScarce() float64 {
+func (r *FleetResult) TotalPerfScarce() float64 {
 	var sum float64
 	for _, rr := range r.Racks {
 		sum += rr.Result.MeanPerfScarce()
@@ -119,7 +298,7 @@ func (r *Result) TotalPerfScarce() float64 {
 }
 
 // TotalGridWh sums grid energy across racks.
-func (r *Result) TotalGridWh() float64 {
+func (r *FleetResult) TotalGridWh() float64 {
 	var sum float64
 	for _, rr := range r.Racks {
 		sum += rr.Result.GridEnergyWh()
@@ -128,7 +307,7 @@ func (r *Result) TotalGridWh() float64 {
 }
 
 // MeanEPU averages rack EPU weighted equally.
-func (r *Result) MeanEPU() float64 {
+func (r *FleetResult) MeanEPU() float64 {
 	if len(r.Racks) == 0 {
 		return 0
 	}
@@ -139,82 +318,173 @@ func (r *Result) MeanEPU() float64 {
 	return sum / float64(len(r.Racks))
 }
 
-// shares computes each rack's PV fraction under the strategy.
-func shares(cfg Config) ([]float64, error) {
-	n := len(cfg.Racks)
-	out := make([]float64, n)
-	switch cfg.Shares {
-	case ShareUniform:
-		for i := range out {
-			out[i] = 1 / float64(n)
-		}
-	case ShareDemandProportional:
-		var total float64
-		demands := make([]float64, n)
-		for i, rc := range cfg.Racks {
-			for _, g := range rc.Rack.Groups() {
-				demands[i] += float64(g.Count) * workload.PeakEffW(g.Spec, rc.Workload)
-			}
-			total += demands[i]
-		}
-		if total <= 0 {
-			return nil, fmt.Errorf("%w: zero total demand", ErrBadConfig)
-		}
-		for i := range out {
-			out[i] = demands[i] / total
-		}
-	default:
-		return nil, fmt.Errorf("%w: unknown share strategy %d", ErrBadConfig, int(cfg.Shares))
-	}
-	return out, nil
-}
-
-// Run simulates every rack concurrently (each is an independent
-// electrical and control domain) and aggregates the site result.
-func Run(cfg Config) (*Result, error) {
+// validate checks cfg and applies defaults, returning the ready config.
+func (cfg Config) validate() (Config, error) {
 	if len(cfg.Racks) == 0 {
-		return nil, fmt.Errorf("%w: no racks", ErrBadConfig)
+		return cfg, fmt.Errorf("%w: no racks", ErrBadConfig)
 	}
 	if cfg.Solar == nil {
-		return nil, fmt.Errorf("%w: nil solar trace", ErrBadConfig)
+		return cfg, fmt.Errorf("%w: nil solar trace", ErrBadConfig)
 	}
 	if cfg.Epochs < 1 {
-		return nil, fmt.Errorf("%w: epochs %d", ErrBadConfig, cfg.Epochs)
+		return cfg, fmt.Errorf("%w: epochs %d", ErrBadConfig, cfg.Epochs)
 	}
-	if cfg.Shares == 0 {
-		cfg.Shares = ShareUniform
+	if cfg.SiteGridBudgetW < 0 {
+		return cfg, fmt.Errorf("%w: site grid budget %v", ErrBadConfig, cfg.SiteGridBudgetW)
 	}
+	if cfg.InitialSoC < 0 || cfg.InitialSoC > 1 {
+		return cfg, fmt.Errorf("%w: initial SoC %v", ErrBadConfig, cfg.InitialSoC)
+	}
+	if cfg.Allocator == nil {
+		cfg.Allocator = Uniform{}
+	}
+	if cfg.SiteBattery == (battery.Config{}) {
+		cfg.SiteBattery = battery.DefaultConfig()
+		cfg.SiteBattery.CapacityWh *= float64(len(cfg.Racks))
+	}
+	seen := make(map[string]int, len(cfg.Racks))
 	for i, rc := range cfg.Racks {
-		if rc.Rack == nil || rc.Policy == nil || rc.Workload.ID == "" {
-			return nil, fmt.Errorf("%w: rack %d incomplete", ErrBadConfig, i)
+		if rc.Rack == nil || rc.Policy == nil {
+			return cfg, fmt.Errorf("%w: rack %d incomplete", ErrBadConfig, i)
 		}
+		if rc.GroupWorkloads == nil && rc.Workload.ID == "" {
+			return cfg, fmt.Errorf("%w: rack %d has no workload", ErrBadConfig, i)
+		}
+		if rc.GroupWorkloads != nil && len(rc.GroupWorkloads) != rc.Rack.NumGroups() {
+			return cfg, fmt.Errorf("%w: rack %d: %d group workloads for %d groups",
+				ErrBadConfig, i, len(rc.GroupWorkloads), rc.Rack.NumGroups())
+		}
+		name := rc.Rack.Name()
+		if j, dup := seen[name]; dup {
+			return cfg, fmt.Errorf("%w: racks %d and %d share the name %q (reports would be ambiguous)",
+				ErrBadConfig, j, i, name)
+		}
+		seen[name] = i
 	}
-	fractions, err := shares(cfg)
+	return cfg, nil
+}
+
+// Run simulates the fleet: per-epoch site allocation over live rack
+// sessions, racks stepping in parallel between barriers.
+func Run(cfg Config) (*FleetResult, error) {
+	cfg, err := cfg.validate()
 	if err != nil {
 		return nil, err
+	}
+	n := len(cfg.Racks)
+	d := cfg.Solar.Step
+
+	site, err := battery.NewSiteBank(cfg.SiteBattery, n)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: site bank: %w", err)
+	}
+	if cfg.InitialSoC != 0 {
+		if err := site.Bank().SetSoC(cfg.InitialSoC); err != nil {
+			return nil, fmt.Errorf("cluster: site bank: %w", err)
+		}
 	}
 
-	racks, err := runner.Map(cfg.Parallelism, len(cfg.Racks), func(i int) (RackResult, error) {
-		rc := cfg.Racks[i]
-		rackSolar := cfg.Solar.Scale(fractions[i])
-		simRes, err := sim.Run(sim.Config{
-			Rack:        rc.Rack,
-			Workload:    rc.Workload,
-			Policy:      rc.Policy,
-			Solar:       rackSolar,
-			Epochs:      cfg.Epochs,
-			GridBudgetW: rc.GridBudgetW,
-			Battery:     rc.Battery,
-			InitialSoC:  rc.InitialSoC,
-			Seed:        runner.DeriveSeed(cfg.Seed, fmt.Sprintf("rack/%d/%s", i, rc.Rack.Name())),
+	sessions := make([]*sim.Session, n)
+	results := make([]*sim.Result, n)
+	for i, rc := range cfg.Racks {
+		s, err := sim.NewSession(sim.Config{
+			Rack:           rc.Rack,
+			Workload:       rc.Workload,
+			GroupWorkloads: rc.GroupWorkloads,
+			Policy:         rc.Policy,
+			Solar:          cfg.Solar,
+			Epochs:         cfg.Epochs,
+			Bank:           site.Lease(i),
+			Seed:           runner.DeriveSeed(cfg.Seed, fmt.Sprintf("rack/%d/%s", i, rc.Rack.Name())),
 		})
 		if err != nil {
-			return RackResult{}, fmt.Errorf("rack %s: %w", rc.Rack.Name(), err)
+			return nil, fmt.Errorf("cluster: rack %s: %w", rc.Rack.Name(), err)
 		}
-		return RackResult{Name: rc.Rack.Name(), PVShare: fractions[i], Result: simRes}, nil
-	})
-	if err != nil {
-		return nil, err
+		sessions[i] = s
+		results[i] = s.NewResult()
 	}
-	return &Result{Racks: racks}, nil
+
+	out := &FleetResult{
+		Allocator: cfg.Allocator.Name(),
+		Site:      make([]SiteEpoch, 0, cfg.Epochs),
+	}
+	bids := make([]float64, n)
+	weights := make([]float64, n)
+	for e := 0; e < cfg.Epochs; e++ {
+		// 1. Collect demand bids, serially in rack order.
+		var bidTotal float64
+		for i, s := range sessions {
+			b, err := s.DemandBidW()
+			if err != nil {
+				return nil, fmt.Errorf("cluster: rack %s: bid: %w", cfg.Racks[i].Rack.Name(), err)
+			}
+			bids[i] = b
+			bidTotal += b
+		}
+
+		// 2. Split the site supply.
+		supply := Supply{
+			RenewableW:        cfg.Solar.At(e),
+			BatteryDischargeW: site.Bank().AvailableDischargeW(d),
+			BatteryChargeW:    site.Bank().AcceptableChargeW(d),
+			GridBudgetW:       cfg.SiteGridBudgetW,
+		}
+		if err := cfg.Allocator.Weights(bids, supply, weights); err != nil {
+			return nil, fmt.Errorf("cluster: allocator %s: %w", cfg.Allocator.Name(), err)
+		}
+		var wsum float64
+		for i, w := range weights {
+			if w < 0 || math.IsNaN(w) {
+				return nil, fmt.Errorf("cluster: allocator %s: weight[%d] = %v", cfg.Allocator.Name(), i, w)
+			}
+			wsum += w
+		}
+		if wsum > 1+1e-9 {
+			return nil, fmt.Errorf("cluster: allocator %s: weights sum to %v > 1", cfg.Allocator.Name(), wsum)
+		}
+		if err := site.Carve(weights, d); err != nil {
+			return nil, fmt.Errorf("cluster: carve: %w", err)
+		}
+
+		// 3. Step every rack in parallel under its allocation (the
+		// per-epoch barrier).
+		epochs, err := runner.Map(cfg.Parallelism, n, func(i int) (sim.EpochResult, error) {
+			er, err := sessions[i].StepAllocated(sim.Allocation{
+				RenewableW:  weights[i] * supply.RenewableW,
+				GridBudgetW: weights[i] * supply.GridBudgetW,
+			})
+			if err != nil {
+				return sim.EpochResult{}, fmt.Errorf("rack %s: %w", cfg.Racks[i].Rack.Name(), err)
+			}
+			return er, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: epoch %d: %w", e, err)
+		}
+
+		// 4. Settle the shared bank in rack-index order and record the
+		// site trace.
+		settle := site.Settle(d)
+		se := SiteEpoch{
+			Epoch:       e,
+			RenewableW:  supply.RenewableW,
+			BidW:        bidTotal,
+			BatteryOutW: settle.DischargeW,
+			BatteryInW:  settle.ChargeRenewableW + settle.ChargeGridW,
+			BatterySoC:  site.Bank().SoC(),
+		}
+		for i, er := range epochs {
+			se.SupplyW += er.SupplyW
+			se.GridW += er.GridW
+			results[i].Epochs = append(results[i].Epochs, er)
+		}
+		out.Site = append(out.Site, se)
+	}
+
+	out.BatteryCycles = site.Bank().Cycles()
+	out.Racks = make([]RackResult, n)
+	for i, rc := range cfg.Racks {
+		out.Racks[i] = RackResult{Name: rc.Rack.Name(), Result: results[i]}
+	}
+	return out, nil
 }

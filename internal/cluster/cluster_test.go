@@ -1,8 +1,15 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
+	"flag"
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +19,8 @@ import (
 	"greenhetero/internal/trace"
 	"greenhetero/internal/workload"
 )
+
+var updateFleetGolden = flag.Bool("update-fleet-golden", false, "rewrite the fleet golden fixture")
 
 func rackOf(t *testing.T, name string, ids []string, count int) *server.Rack {
 	t.Helper()
@@ -48,26 +57,24 @@ func twoRackConfig(t *testing.T) Config {
 	return Config{
 		Racks: []RackConfig{
 			{
-				Rack:        rackOf(t, "rack-a", []string{server.XeonE52620, server.CoreI54460}, 5),
-				Workload:    mustWorkload(t, workload.SPECjbb),
-				Policy:      policy.Solver{Adaptive: true},
-				GridBudgetW: 1000,
+				Rack:     rackOf(t, "rack-a", []string{server.XeonE52620, server.CoreI54460}, 5),
+				Workload: mustWorkload(t, workload.SPECjbb),
+				Policy:   policy.Solver{Adaptive: true},
 			},
 			{
-				Rack:        rackOf(t, "rack-b", []string{server.XeonE52603, server.CoreI54460}, 5),
-				Workload:    mustWorkload(t, workload.Canneal),
-				Policy:      policy.Solver{Adaptive: true},
-				GridBudgetW: 800,
+				Rack:     rackOf(t, "rack-b", []string{server.XeonE52603, server.CoreI54460}, 5),
+				Workload: mustWorkload(t, workload.Canneal),
+				Policy:   policy.Solver{Adaptive: true},
 			},
 		},
-		Solar:  tr,
-		Epochs: 48,
-		Seed:   7,
+		Solar:           tr,
+		SiteGridBudgetW: 1800,
+		Epochs:          48,
+		Seed:            7,
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	base := twoRackConfig(t)
 	tests := []struct {
 		name string
 		mut  func(*Config)
@@ -77,8 +84,15 @@ func TestRunValidation(t *testing.T) {
 		{"zero epochs", func(c *Config) { c.Epochs = 0 }},
 		{"nil rack", func(c *Config) { c.Racks[0].Rack = nil }},
 		{"nil policy", func(c *Config) { c.Racks[0].Policy = nil }},
-		{"empty workload", func(c *Config) { c.Racks[0].Workload = workload.Workload{} }},
-		{"bad strategy", func(c *Config) { c.Shares = ShareStrategy(9) }},
+		{"no workload", func(c *Config) { c.Racks[0].Workload = workload.Workload{} }},
+		{"negative site grid", func(c *Config) { c.SiteGridBudgetW = -1 }},
+		{"bad initial SoC", func(c *Config) { c.InitialSoC = 1.5 }},
+		{"group workload count", func(c *Config) {
+			c.Racks[0].GroupWorkloads = []workload.Workload{c.Racks[0].Workload}
+		}},
+		{"duplicate rack names", func(c *Config) {
+			c.Racks[1].Rack = rackOf(t, "rack-a", []string{server.XeonE52603}, 5)
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -89,7 +103,57 @@ func TestRunValidation(t *testing.T) {
 			}
 		})
 	}
-	_ = base
+}
+
+func TestAllocatorByName(t *testing.T) {
+	for _, a := range Allocators() {
+		got, err := AllocatorByName(a.Name())
+		if err != nil || got.Name() != a.Name() {
+			t.Errorf("AllocatorByName(%q) = %v, %v", a.Name(), got, err)
+		}
+	}
+	if _, err := AllocatorByName("nope"); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown allocator err = %v", err)
+	}
+}
+
+func TestHierarchicalPARWeights(t *testing.T) {
+	out := make([]float64, 2)
+
+	// Abundant supply: grants equal bids — demand-proportional.
+	if err := (HierarchicalPAR{}).Weights([]float64{100, 300}, Supply{RenewableW: 1000}, out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-0.25) > 1e-12 || math.Abs(out[1]-0.75) > 1e-12 {
+		t.Errorf("abundant weights = %v, want [0.25 0.75]", out)
+	}
+
+	// Scarce supply (200 W for 400 W of bids): max-min fair — both
+	// racks rise to the 100 W fill level, so the small bidder is made
+	// whole and the shortfall lands on the large one.
+	if err := (HierarchicalPAR{}).Weights([]float64{100, 300}, Supply{RenewableW: 200}, out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-0.5) > 1e-12 || math.Abs(out[1]-0.5) > 1e-12 {
+		t.Errorf("scarce weights = %v, want [0.5 0.5]", out)
+	}
+
+	// Mid scarcity (250 W): rack 0 saturates at its 100 W bid, rack 1
+	// absorbs the remaining 150 W.
+	if err := (HierarchicalPAR{}).Weights([]float64{100, 300}, Supply{RenewableW: 250}, out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-0.4) > 1e-12 || math.Abs(out[1]-0.6) > 1e-12 {
+		t.Errorf("mid-scarce weights = %v, want [0.4 0.6]", out)
+	}
+
+	// Zero bids fall back to uniform.
+	if err := (HierarchicalPAR{}).Weights([]float64{0, 0}, Supply{RenewableW: 250}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0.5 || out[1] != 0.5 {
+		t.Errorf("zero-bid weights = %v, want uniform", out)
+	}
 }
 
 func TestRunAggregates(t *testing.T) {
@@ -98,10 +162,15 @@ func TestRunAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if res.Allocator != "uniform" {
+		t.Errorf("default allocator = %q", res.Allocator)
+	}
 	if len(res.Racks) != 2 {
 		t.Fatalf("racks = %d", len(res.Racks))
 	}
-	var shareSum float64
+	if len(res.Site) != cfg.Epochs {
+		t.Fatalf("site trace = %d epochs, want %d", len(res.Site), cfg.Epochs)
+	}
 	for _, rr := range res.Racks {
 		if rr.Result == nil {
 			t.Fatalf("rack %s missing result", rr.Name)
@@ -109,10 +178,14 @@ func TestRunAggregates(t *testing.T) {
 		if len(rr.Result.Epochs) != cfg.Epochs {
 			t.Errorf("rack %s epochs = %d", rr.Name, len(rr.Result.Epochs))
 		}
-		shareSum += rr.PVShare
 	}
-	if math.Abs(shareSum-1) > 1e-9 {
-		t.Errorf("PV shares sum to %v", shareSum)
+	for _, se := range res.Site {
+		if se.BatterySoC < 0 || se.BatterySoC > 1 {
+			t.Fatalf("epoch %d site SoC = %v", se.Epoch, se.BatterySoC)
+		}
+		if se.BidW <= 0 {
+			t.Fatalf("epoch %d bid = %v", se.Epoch, se.BidW)
+		}
 	}
 	if got, want := res.TotalPerf(), res.Racks[0].Result.MeanPerf()+res.Racks[1].Result.MeanPerf(); math.Abs(got-want) > 1e-9 {
 		t.Errorf("TotalPerf = %v, want %v", got, want)
@@ -128,90 +201,223 @@ func TestRunAggregates(t *testing.T) {
 	}
 }
 
-func TestRunDeterministic(t *testing.T) {
-	cfg := twoRackConfig(t)
-	a, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
+// fleetEqual bit-compares two fleet runs: every rack's epoch records
+// and the full site battery trace.
+func fleetEqual(t *testing.T, label string, a, b *FleetResult) {
+	t.Helper()
+	if a.BatteryCycles != b.BatteryCycles {
+		t.Errorf("%s: cycles %d vs %d", label, a.BatteryCycles, b.BatteryCycles)
 	}
-	b, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
+	if len(a.Site) != len(b.Site) || len(a.Racks) != len(b.Racks) {
+		t.Fatalf("%s: shape mismatch", label)
 	}
-	if a.TotalPerf() != b.TotalPerf() {
-		t.Errorf("non-deterministic: %v vs %v", a.TotalPerf(), b.TotalPerf())
-	}
-}
-
-func TestShareStrategies(t *testing.T) {
-	cfg := twoRackConfig(t)
-	cfg.Shares = ShareDemandProportional
-	fr, err := shares(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Rack A (E5-2620 heavy, SPECjbb) demands far more than rack B
-	// (small servers, low-util Canneal).
-	if fr[0] <= fr[1] {
-		t.Errorf("demand shares = %v, want rack A larger", fr)
-	}
-	cfg.Shares = ShareUniform
-	fr, err = shares(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fr[0] != 0.5 || fr[1] != 0.5 {
-		t.Errorf("uniform shares = %v", fr)
-	}
-}
-
-func TestDemandProportionalBeatsUniformShares(t *testing.T) {
-	// A scarce site: demand-aware PV division should raise total
-	// datacenter throughput over an equal split, because the hungry
-	// rack is the one that converts extra watts into throughput.
-	scarce, err := trace.New("scarce", simStart(), cfgStep(), constVals(900, 48))
-	if err != nil {
-		t.Fatal(err)
-	}
-	build := func(strategy ShareStrategy) float64 {
-		cfg := twoRackConfig(t)
-		cfg.Solar = scarce
-		cfg.Shares = strategy
-		for i := range cfg.Racks {
-			cfg.Racks[i].GridBudgetW = 0
-			cfg.Racks[i].InitialSoC = 0.6
+	for i := range a.Site {
+		if a.Site[i] != b.Site[i] {
+			t.Fatalf("%s: site epoch %d differs:\n%+v\n%+v", label, i, a.Site[i], b.Site[i])
 		}
-		res, err := Run(cfg)
-		if err != nil {
+	}
+	for i := range a.Racks {
+		if a.Racks[i].Name != b.Racks[i].Name {
+			t.Fatalf("%s: rack %d name %q vs %q", label, i, a.Racks[i].Name, b.Racks[i].Name)
+		}
+		ae, be := a.Racks[i].Result.Epochs, b.Racks[i].Result.Epochs
+		if len(ae) != len(be) {
+			t.Fatalf("%s: rack %s epoch count", label, a.Racks[i].Name)
+		}
+		for e := range ae {
+			if !reflect.DeepEqual(ae[e], be[e]) {
+				t.Fatalf("%s: rack %s epoch %d differs:\n%+v\n%+v",
+					label, a.Racks[i].Name, e, ae[e], be[e])
+			}
+		}
+	}
+}
+
+// TestFleetDeterminism proves serial and parallel fleet runs
+// bit-identical for every allocator strategy (per-rack epoch records
+// and the site battery trace), at parallelism 1, 4, and per-CPU.
+func TestFleetDeterminism(t *testing.T) {
+	for _, alloc := range Allocators() {
+		alloc := alloc
+		t.Run(alloc.Name(), func(t *testing.T) {
+			cfg := twoRackConfig(t)
+			cfg.Allocator = alloc
+			cfg.Parallelism = 1
+			ref, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{4, 0} {
+				cfg.Parallelism = par
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fleetEqual(t, fmt.Sprintf("%s/parallelism=%d", alloc.Name(), par), ref, got)
+			}
+		})
+	}
+}
+
+// TestMixedRackBids is the regression test for mixed-rack blindness:
+// two racks with identical hardware, one running the heavy workload on
+// both groups, the other a heavy+light mix via GroupWorkloads. The
+// demand-proportional allocator must price the mixed rack off its
+// per-group workloads and feed the all-heavy rack more PV.
+func TestMixedRackBids(t *testing.T) {
+	scarce, err := trace.New("scarce", simStart(), cfgStep(), constVals(900, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{server.XeonE52620, server.XeonE52603}
+	cfg := Config{
+		Racks: []RackConfig{
+			{
+				Rack:     rackOf(t, "all-heavy", ids, 5),
+				Workload: mustWorkload(t, workload.SPECjbb),
+				Policy:   policy.Solver{Adaptive: true},
+			},
+			{
+				Rack: rackOf(t, "mixed", ids, 5),
+				GroupWorkloads: []workload.Workload{
+					mustWorkload(t, workload.SPECjbb),
+					mustWorkload(t, workload.Canneal),
+				},
+				Policy: policy.Solver{Adaptive: true},
+			},
+		},
+		Solar:     scarce,
+		Allocator: DemandProportional{},
+		Epochs:    24,
+		Seed:      11,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := func(i int) float64 {
+		var sum float64
+		for _, e := range res.Racks[i].Result.Epochs {
+			sum += e.RenewableW
+		}
+		return sum
+	}
+	if heavy, mixed := pv(0), pv(1); heavy <= mixed {
+		t.Errorf("all-heavy rack PV %v W not above mixed rack %v W — mixed rack was priced on a single workload", heavy, mixed)
+	}
+}
+
+// TestThousandRackSmoke steps a 1000-rack fleet through full epochs.
+func TestThousandRackSmoke(t *testing.T) {
+	tr, err := solar.DefaultHigh(4500 * 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{server.XeonE52620, server.XeonE52603, server.CoreI54460}
+	wls := []string{workload.SPECjbb, workload.Canneal}
+	racks := make([]RackConfig, 1000)
+	for i := range racks {
+		racks[i] = RackConfig{
+			Rack:     rackOf(t, fmt.Sprintf("rack-%04d", i), []string{specs[i%len(specs)]}, 4),
+			Workload: mustWorkload(t, wls[i%len(wls)]),
+			Policy:   policy.Solver{Adaptive: true},
+		}
+	}
+	cfg := Config{
+		Racks:           racks,
+		Solar:           tr,
+		Allocator:       HierarchicalPAR{},
+		SiteGridBudgetW: 1000 * 1000,
+		Epochs:          3,
+		Seed:            42,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Racks) != 1000 || len(res.Site) != cfg.Epochs {
+		t.Fatalf("shape: %d racks, %d site epochs", len(res.Racks), len(res.Site))
+	}
+	if res.TotalPerf() <= 0 {
+		t.Errorf("TotalPerf = %v", res.TotalPerf())
+	}
+}
+
+// fleetGolden is the serialized shape of the golden fixture: the full
+// site trace plus per-rack aggregates, enough to diff any allocator
+// refactor.
+type fleetGolden struct {
+	Allocator string
+	Cycles    int
+	Site      []SiteEpoch
+	Racks     []struct {
+		Name     string
+		MeanPerf float64
+		MeanEPU  float64
+		GridWh   float64
+	}
+}
+
+// TestFleetGolden pins a small hierarchical-PAR fleet run to a
+// committed fixture so future allocator refactors are diffable. Rerun
+// with -update-fleet-golden to regenerate after an intentional change.
+func TestFleetGolden(t *testing.T) {
+	cfg := twoRackConfig(t)
+	cfg.Allocator = HierarchicalPAR{}
+	cfg.Epochs = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g fleetGolden
+	g.Allocator = res.Allocator
+	g.Cycles = res.BatteryCycles
+	g.Site = res.Site
+	for _, rr := range res.Racks {
+		g.Racks = append(g.Racks, struct {
+			Name     string
+			MeanPerf float64
+			MeanEPU  float64
+			GridWh   float64
+		}{rr.Name, rr.Result.MeanPerf(), rr.Result.MeanEPU(), rr.Result.GridEnergyWh()})
+	}
+	got, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "fleet_golden.json")
+	if *updateFleetGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		return res.TotalPerf()
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
-	uniform := build(ShareUniform)
-	demand := build(ShareDemandProportional)
-	if demand <= uniform {
-		t.Errorf("demand-proportional %v not above uniform %v", demand, uniform)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update-fleet-golden)", err)
 	}
-}
-
-func TestShareStrategyString(t *testing.T) {
-	if ShareUniform.String() != "uniform" || ShareDemandProportional.String() != "demand-proportional" {
-		t.Error("String mismatch")
-	}
-	if ShareStrategy(9).String() != "ShareStrategy(9)" {
-		t.Errorf("unknown = %v", ShareStrategy(9))
+	if string(got) != string(want) {
+		t.Errorf("fleet golden drifted (rerun with -update-fleet-golden if intentional):\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 
 func TestRackFailurePropagates(t *testing.T) {
-	// One rack with an invalid battery config: its simulation fails and
-	// the site run must surface the error rather than return a partial
-	// result.
+	// An unbuildable rack session (empty workload ID in the group list)
+	// must surface the rack's name rather than return a partial result.
 	cfg := twoRackConfig(t)
-	cfg.Epochs = 5
-	cfg.Racks[1].Battery.CapacityWh = -5
-	if _, err := Run(cfg); err == nil {
-		t.Error("rack failure should propagate")
+	cfg.Racks[1].GroupWorkloads = []workload.Workload{
+		cfg.Racks[1].Workload, {},
+	}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("rack failure should propagate")
+	}
+	if !strings.Contains(err.Error(), "rack-b") {
+		t.Errorf("error %v does not name the failing rack", err)
 	}
 }
 

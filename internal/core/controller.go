@@ -60,8 +60,10 @@ type Config struct {
 	DB *profiledb.DB
 	// Policy decides the PAR (Table III).
 	Policy policy.Policy
-	// Battery is the rack's energy storage.
-	Battery *battery.Bank
+	// Battery is the rack's energy storage: a rack-local *battery.Bank,
+	// or a *battery.Lease carved per epoch from a shared site bank by
+	// the fleet coordinator.
+	Battery battery.Store
 	// GridBudgetW caps grid draw (paper default 1000 W).
 	GridBudgetW float64
 	// Epoch is the scheduling epoch (paper: 15 minutes).
@@ -107,6 +109,8 @@ type Controller struct {
 	scratch *policy.Scratch
 	// wsBuf backs StepObserved's uniform-workload expansion.
 	wsBuf []workload.Workload
+	// bidEntry backs BelievedDemandW's projection lookups.
+	bidEntry profiledb.Entry
 }
 
 // recoverSoC is the state of charge at which a bank that drained to its
@@ -496,6 +500,42 @@ func (c *Controller) FeedbackMixed(groupWs []workload.Workload, groupSamples map
 		}
 	}
 	return nil
+}
+
+// SetGridBudgetW replaces the controller's grid budget. The fleet
+// coordinator calls it once per epoch with the rack's share of the site
+// budget before stepping the rack.
+//
+// ghlint:allocfree
+func (c *Controller) SetGridBudgetW(w float64) error {
+	if w < 0 {
+		return fmt.Errorf("%w: grid budget %v", ErrBadConfig, w)
+	}
+	c.cfg.GridBudgetW = w
+	return nil
+}
+
+// BelievedDemandW is the rack's demand bid: the power it believes its
+// groups draw at effective peak, priced from the database's cached
+// projections (nameplate peaks for unprofiled pairs). It reads only
+// controller knowledge — never ground truth — so a site allocator using
+// it stays inside the paper's prediction discipline.
+//
+// ghlint:allocfree
+func (c *Controller) BelievedDemandW(groupWs []workload.Workload) (float64, error) {
+	if len(groupWs) != len(c.groups) {
+		return 0, fmt.Errorf("core: bid: %d workloads for %d groups", len(groupWs), len(c.groups))
+	}
+	var total float64
+	for i, g := range c.groups {
+		perServer := g.Spec.PeakW
+		k := profiledb.Key{ServerID: g.Spec.ID, WorkloadID: groupWs[i].ID}
+		if err := c.cfg.DB.ProjectionInto(k, &c.bidEntry); err == nil {
+			perServer = c.bidEntry.PeakEffW
+		}
+		total += float64(g.Count) * perServer
+	}
+	return total, nil
 }
 
 // Rack exposes the controller's rack.

@@ -94,13 +94,15 @@ type Execution struct {
 }
 
 // PSC is the Power Source Controller. It owns the switching between
-// renewable, battery, and grid feeds for one rack.
+// renewable, battery, and grid feeds for one rack. The bank may be a
+// rack-local *battery.Bank or a per-epoch *battery.Lease carved from a
+// shared site bank.
 type PSC struct {
-	bank *battery.Bank
+	bank battery.Store
 }
 
-// NewPSC wires a PSC to its rack battery bank.
-func NewPSC(bank *battery.Bank) (*PSC, error) {
+// NewPSC wires a PSC to its rack battery store.
+func NewPSC(bank battery.Store) (*PSC, error) {
 	if bank == nil {
 		return nil, errors.New("enforcer: nil battery bank")
 	}

@@ -14,13 +14,15 @@ import (
 // ExtensionCluster is the multi-rack datacenter extension (paper §IV-A
 // discusses the distributed rack-level deployment; cross-rack capacity
 // coordination is the paper's future work). Three heterogeneous racks
-// share one site PV plant; the experiment crosses the two cross-rack PV
-// division strategies with the per-rack allocation policy:
+// share one site PV plant, site battery bank, and site grid budget under
+// the per-epoch fleet coordinator; the experiment crosses the site
+// allocator with the per-rack allocation policy:
 //
-//	site uniform  × rack Uniform       — fully heterogeneity-oblivious
-//	site uniform  × rack GreenHetero   — the paper's deployment
-//	site demand   × rack GreenHetero   — heterogeneity-awareness at
-//	                                     both levels
+//	site uniform    × rack Uniform       — fully heterogeneity-oblivious
+//	site uniform    × rack GreenHetero   — the paper's deployment
+//	site demand     × rack GreenHetero   — demand-aware site split
+//	site water-fill × rack GreenHetero   — heterogeneity-awareness at
+//	                                       both levels
 func ExtensionCluster(opts Options) (*Table, error) {
 	o := opts.withDefaults()
 	epochs := 96
@@ -42,11 +44,10 @@ func ExtensionCluster(opts Options) (*Table, error) {
 		specs := []struct {
 			combo    string
 			workload string
-			grid     float64
 		}{
-			{"Comb1", workload.SPECjbb, 800},
-			{"Comb2", workload.Canneal, 500},
-			{"Comb6", workload.SradV1, 1200},
+			{"Comb1", workload.SPECjbb},
+			{"Comb2", workload.Canneal},
+			{"Comb6", workload.SradV1},
 		}
 		out := make([]cluster.RackConfig, 0, len(specs))
 		for _, sp := range specs {
@@ -55,10 +56,9 @@ func ExtensionCluster(opts Options) (*Table, error) {
 				return nil, err
 			}
 			out = append(out, cluster.RackConfig{
-				Rack:        rack,
-				Workload:    workloadByID(sp.workload),
-				Policy:      p(),
-				GridBudgetW: sp.grid,
+				Rack:     rack,
+				Workload: workloadByID(sp.workload),
+				Policy:   p(),
 			})
 		}
 		return out, nil
@@ -66,33 +66,35 @@ func ExtensionCluster(opts Options) (*Table, error) {
 
 	type variant struct {
 		name   string
-		shares cluster.ShareStrategy
+		alloc  cluster.Allocator
 		policy func() policy.Policy
 	}
 	variants := []variant{
-		{"uniform PV / Uniform racks", cluster.ShareUniform, func() policy.Policy { return policy.Uniform{} }},
-		{"uniform PV / GreenHetero racks", cluster.ShareUniform, func() policy.Policy { return policy.Solver{Adaptive: true} }},
-		{"demand PV / GreenHetero racks", cluster.ShareDemandProportional, func() policy.Policy { return policy.Solver{Adaptive: true} }},
+		{"uniform PV / Uniform racks", cluster.Uniform{}, func() policy.Policy { return policy.Uniform{} }},
+		{"uniform PV / GreenHetero racks", cluster.Uniform{}, func() policy.Policy { return policy.Solver{Adaptive: true} }},
+		{"demand PV / GreenHetero racks", cluster.DemandProportional{}, func() policy.Policy { return policy.Solver{Adaptive: true} }},
+		{"water-fill PV / GreenHetero racks", cluster.HierarchicalPAR{}, func() policy.Policy { return policy.Solver{Adaptive: true} }},
 	}
 
 	t := &Table{
 		ID:     "ext-cluster",
-		Title:  "Extension: 3-rack green datacenter — cross-rack PV shares × per-rack policy",
+		Title:  "Extension: 3-rack green datacenter — site allocator × per-rack policy",
 		Header: []string{"Deployment", "Site perf", "vs oblivious", "Mean EPU", "Grid (kWh)"},
 	}
-	siteResults, err := runner.Map(o.Parallelism, len(variants), func(i int) (*cluster.Result, error) {
+	siteResults, err := runner.Map(o.Parallelism, len(variants), func(i int) (*cluster.FleetResult, error) {
 		v := variants[i]
 		racks, err := buildRacks(v.policy)
 		if err != nil {
 			return nil, err
 		}
 		return cluster.Run(cluster.Config{
-			Racks:       racks,
-			Solar:       tr,
-			Shares:      v.shares,
-			Epochs:      epochs,
-			Seed:        o.Seed,
-			Parallelism: o.Parallelism,
+			Racks:           racks,
+			Solar:           tr,
+			Allocator:       v.alloc,
+			SiteGridBudgetW: 2500,
+			Epochs:          epochs,
+			Seed:            o.Seed,
+			Parallelism:     o.Parallelism,
 		})
 	})
 	if err != nil {

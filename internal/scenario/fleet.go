@@ -1,0 +1,152 @@
+// Fleet scenarios: a declarative multi-rack site run for the cluster
+// coordinator. Rack templates expand by replica count, and the site
+// block names the allocator, the shared battery, and the grid cap:
+//
+//	{
+//	  "name": "small-site",
+//	  "solar": {"profile": "high", "peakWatts": 90000, "days": 2, "seed": 1},
+//	  "epochs": 96,
+//	  "seed": 7,
+//	  "fleet": {
+//	    "allocator": "hierarchical-par",
+//	    "siteGridBudgetW": 16000,
+//	    "siteBattery": {"capacityWh": 200000},
+//	    "racks": [
+//	      {"name": "web", "count": 12, "policy": "GreenHetero",
+//	       "groups": [{"server": "e5-2620", "count": 5, "workload": "specjbb"}]},
+//	      {"name": "batch", "count": 4, "policy": "GreenHetero",
+//	       "groups": [{"server": "i5-4460", "count": 8, "workload": "canneal"}]}
+//	    ]
+//	  }
+//	}
+package scenario
+
+import (
+	"fmt"
+
+	"greenhetero/internal/battery"
+	"greenhetero/internal/cluster"
+	"greenhetero/internal/policy"
+)
+
+// FleetRackSpec is one rack template; Count expands it into replicas
+// named "<name>-<i>".
+type FleetRackSpec struct {
+	Name   string      `json:"name"`
+	Count  int         `json:"count,omitempty"` // replicas; 0 means 1
+	Groups []GroupSpec `json:"groups"`
+	Policy string      `json:"policy"`
+}
+
+// BatterySpec configures the shared site bank. Zero DoD and efficiency
+// take the paper's defaults (0.40, 0.80).
+type BatterySpec struct {
+	CapacityWh       float64 `json:"capacityWh"`
+	DepthOfDischarge float64 `json:"depthOfDischarge,omitempty"`
+	Efficiency       float64 `json:"efficiency,omitempty"`
+	MaxChargeW       float64 `json:"maxChargeW,omitempty"`
+	MaxDischargeW    float64 `json:"maxDischargeW,omitempty"`
+}
+
+// FleetSpec is the scenario file's fleet block.
+type FleetSpec struct {
+	Racks           []FleetRackSpec `json:"racks"`
+	Allocator       string          `json:"allocator,omitempty"` // default "uniform"
+	SiteBattery     *BatterySpec    `json:"siteBattery,omitempty"`
+	SiteGridBudgetW float64         `json:"siteGridBudgetW,omitempty"`
+}
+
+func (f *FleetSpec) validate() error {
+	if len(f.Racks) == 0 {
+		return fmt.Errorf("%w: fleet has no racks", ErrBadScenario)
+	}
+	for i, r := range f.Racks {
+		switch {
+		case r.Name == "":
+			return fmt.Errorf("%w: fleet rack %d missing name", ErrBadScenario, i)
+		case len(r.Groups) == 0:
+			return fmt.Errorf("%w: fleet rack %q has no groups", ErrBadScenario, r.Name)
+		case r.Policy == "":
+			return fmt.Errorf("%w: fleet rack %q missing policy", ErrBadScenario, r.Name)
+		case r.Count < 0:
+			return fmt.Errorf("%w: fleet rack %q count %d", ErrBadScenario, r.Name, r.Count)
+		}
+	}
+	return nil
+}
+
+// BuildFleet resolves a fleet scenario into a cluster configuration.
+func (sc *Scenario) BuildFleet() (cluster.Config, error) {
+	if sc.Fleet == nil {
+		return cluster.Config{}, fmt.Errorf("%w: not a fleet scenario; use Build", ErrBadScenario)
+	}
+	f := sc.Fleet
+
+	var alloc cluster.Allocator
+	if f.Allocator != "" {
+		a, err := cluster.AllocatorByName(f.Allocator)
+		if err != nil {
+			return cluster.Config{}, fmt.Errorf("scenario: %w", err)
+		}
+		alloc = a
+	}
+
+	var siteBattery battery.Config
+	if b := f.SiteBattery; b != nil {
+		siteBattery = battery.Config{
+			CapacityWh:       b.CapacityWh,
+			DepthOfDischarge: b.DepthOfDischarge,
+			Efficiency:       b.Efficiency,
+			MaxChargeW:       b.MaxChargeW,
+			MaxDischargeW:    b.MaxDischargeW,
+		}
+		if siteBattery.DepthOfDischarge == 0 {
+			siteBattery.DepthOfDischarge = 0.40
+		}
+		if siteBattery.Efficiency == 0 {
+			siteBattery.Efficiency = 0.80
+		}
+	}
+
+	var racks []cluster.RackConfig
+	for _, tmpl := range f.Racks {
+		p, err := policy.ByName(tmpl.Policy)
+		if err != nil {
+			return cluster.Config{}, fmt.Errorf("scenario: fleet rack %q: %w", tmpl.Name, err)
+		}
+		count := tmpl.Count
+		if count == 0 {
+			count = 1
+		}
+		for j := 0; j < count; j++ {
+			name := tmpl.Name
+			if count > 1 {
+				name = fmt.Sprintf("%s-%d", tmpl.Name, j)
+			}
+			rack, groupWs, err := buildRack(name, tmpl.Groups)
+			if err != nil {
+				return cluster.Config{}, fmt.Errorf("scenario: fleet rack %q: %w", name, err)
+			}
+			racks = append(racks, cluster.RackConfig{
+				Rack:           rack,
+				GroupWorkloads: groupWs,
+				Policy:         p,
+			})
+		}
+	}
+
+	tr, err := sc.buildTrace()
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	return cluster.Config{
+		Racks:           racks,
+		Solar:           tr,
+		Allocator:       alloc,
+		SiteBattery:     siteBattery,
+		SiteGridBudgetW: f.SiteGridBudgetW,
+		InitialSoC:      sc.InitialSoC,
+		Epochs:          sc.Epochs,
+		Seed:            sc.Seed,
+	}, nil
+}

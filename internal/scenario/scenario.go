@@ -52,17 +52,20 @@ type SolarSpec struct {
 	Seed      int64   `json:"seed"`
 }
 
-// Scenario is the file schema.
+// Scenario is the file schema. Either the single-rack fields (Groups,
+// Policy, GridBudgetW) or the Fleet block is set, never both.
 type Scenario struct {
 	Name        string      `json:"name"`
-	Groups      []GroupSpec `json:"groups"`
-	Policy      string      `json:"policy"`
+	Groups      []GroupSpec `json:"groups,omitempty"`
+	Policy      string      `json:"policy,omitempty"`
 	Solar       *SolarSpec  `json:"solar,omitempty"`
 	TraceFile   string      `json:"traceFile,omitempty"`
 	Epochs      int         `json:"epochs"`
-	GridBudgetW float64     `json:"gridBudgetW"`
+	GridBudgetW float64     `json:"gridBudgetW,omitempty"`
 	InitialSoC  float64     `json:"initialSoC,omitempty"`
 	Seed        int64       `json:"seed,omitempty"`
+	// Fleet describes a multi-rack site run (see fleet.go).
+	Fleet *FleetSpec `json:"fleet,omitempty"`
 }
 
 // ErrBadScenario is returned for structurally invalid scenarios.
@@ -96,89 +99,46 @@ func (sc *Scenario) validate() error {
 	switch {
 	case sc.Name == "":
 		return fmt.Errorf("%w: missing name", ErrBadScenario)
-	case len(sc.Groups) == 0:
-		return fmt.Errorf("%w: no groups", ErrBadScenario)
 	case sc.Epochs < 1:
 		return fmt.Errorf("%w: epochs %d", ErrBadScenario, sc.Epochs)
-	case sc.Policy == "":
-		return fmt.Errorf("%w: missing policy", ErrBadScenario)
 	case sc.Solar == nil && sc.TraceFile == "":
 		return fmt.Errorf("%w: need solar generator or traceFile", ErrBadScenario)
 	case sc.Solar != nil && sc.TraceFile != "":
 		return fmt.Errorf("%w: solar and traceFile are mutually exclusive", ErrBadScenario)
 	}
+	if sc.Fleet != nil {
+		if len(sc.Groups) != 0 || sc.Policy != "" || sc.GridBudgetW != 0 {
+			return fmt.Errorf("%w: fleet and single-rack fields (groups/policy/gridBudgetW) are mutually exclusive", ErrBadScenario)
+		}
+		return sc.Fleet.validate()
+	}
+	switch {
+	case len(sc.Groups) == 0:
+		return fmt.Errorf("%w: no groups", ErrBadScenario)
+	case sc.Policy == "":
+		return fmt.Errorf("%w: missing policy", ErrBadScenario)
+	}
 	return nil
 }
 
-// Build resolves the scenario into a runnable simulation config.
+// Build resolves a single-rack scenario into a runnable simulation
+// config. Fleet scenarios build through BuildFleet instead.
 func (sc *Scenario) Build() (sim.Config, error) {
-	groups := make([]server.Group, 0, len(sc.Groups))
-	groupWs := make([]workload.Workload, 0, len(sc.Groups))
-	for i, g := range sc.Groups {
-		spec, err := server.Lookup(g.Server)
-		if err != nil {
-			return sim.Config{}, fmt.Errorf("scenario: group %d: %w", i, err)
-		}
-		w, err := workload.Lookup(g.Workload)
-		if err != nil {
-			return sim.Config{}, fmt.Errorf("scenario: group %d: %w", i, err)
-		}
-		groups = append(groups, server.Group{Spec: spec, Count: g.Count})
-		groupWs = append(groupWs, w)
+	if sc.Fleet != nil {
+		return sim.Config{}, fmt.Errorf("%w: fleet scenario; use BuildFleet", ErrBadScenario)
 	}
-	rack, err := server.NewRack(sc.Name, groups...)
+	rack, sorted, err := buildRack(sc.Name, sc.Groups)
 	if err != nil {
-		return sim.Config{}, fmt.Errorf("scenario: %w", err)
+		return sim.Config{}, err
 	}
-	// NewRack sorts groups by server id; realign the workloads.
-	sorted := make([]workload.Workload, 0, len(groupWs))
-	for _, g := range rack.Groups() {
-		for i, spec := range sc.Groups {
-			if spec.Server == g.Spec.ID {
-				sorted = append(sorted, groupWs[i])
-				break
-			}
-		}
-	}
-
 	p, err := policy.ByName(sc.Policy)
 	if err != nil {
 		return sim.Config{}, fmt.Errorf("scenario: %w", err)
 	}
-
-	var tr *trace.Trace
-	switch {
-	case sc.Solar != nil:
-		profile, err := solar.ParseProfile(sc.Solar.Profile)
-		if err != nil {
-			return sim.Config{}, fmt.Errorf("scenario: %w", err)
-		}
-		days := sc.Solar.Days
-		if days == 0 {
-			days = 7
-		}
-		tr, err = solar.Generate(solar.Config{
-			Profile:   profile,
-			PeakWatts: sc.Solar.PeakWatts,
-			Days:      days,
-			Step:      15 * time.Minute,
-			Seed:      sc.Solar.Seed,
-		})
-		if err != nil {
-			return sim.Config{}, fmt.Errorf("scenario: %w", err)
-		}
-	default:
-		f, err := os.Open(sc.TraceFile)
-		if err != nil {
-			return sim.Config{}, fmt.Errorf("scenario: %w", err)
-		}
-		defer f.Close()
-		tr, err = trace.ReadCSV(f, sc.TraceFile, 15*time.Minute)
-		if err != nil {
-			return sim.Config{}, fmt.Errorf("scenario: %w", err)
-		}
+	tr, err := sc.buildTrace()
+	if err != nil {
+		return sim.Config{}, err
 	}
-
 	return sim.Config{
 		Rack:           rack,
 		GroupWorkloads: sorted,
@@ -189,4 +149,73 @@ func (sc *Scenario) Build() (sim.Config, error) {
 		InitialSoC:     sc.InitialSoC,
 		Seed:           sc.Seed,
 	}, nil
+}
+
+// buildRack resolves group specs into a rack and its aligned per-group
+// workloads (NewRack sorts groups by server id, so the workloads are
+// realigned to match).
+func buildRack(name string, specs []GroupSpec) (*server.Rack, []workload.Workload, error) {
+	groups := make([]server.Group, 0, len(specs))
+	groupWs := make([]workload.Workload, 0, len(specs))
+	for i, g := range specs {
+		spec, err := server.Lookup(g.Server)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: group %d: %w", i, err)
+		}
+		w, err := workload.Lookup(g.Workload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: group %d: %w", i, err)
+		}
+		groups = append(groups, server.Group{Spec: spec, Count: g.Count})
+		groupWs = append(groupWs, w)
+	}
+	rack, err := server.NewRack(name, groups...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+	sorted := make([]workload.Workload, 0, len(groupWs))
+	for _, g := range rack.Groups() {
+		for i, spec := range specs {
+			if spec.Server == g.Spec.ID {
+				sorted = append(sorted, groupWs[i])
+				break
+			}
+		}
+	}
+	return rack, sorted, nil
+}
+
+// buildTrace resolves the scenario's solar generator or trace file.
+func (sc *Scenario) buildTrace() (*trace.Trace, error) {
+	if sc.Solar != nil {
+		profile, err := solar.ParseProfile(sc.Solar.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		days := sc.Solar.Days
+		if days == 0 {
+			days = 7
+		}
+		tr, err := solar.Generate(solar.Config{
+			Profile:   profile,
+			PeakWatts: sc.Solar.PeakWatts,
+			Days:      days,
+			Step:      15 * time.Minute,
+			Seed:      sc.Solar.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		return tr, nil
+	}
+	f, err := os.Open(sc.TraceFile)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f, sc.TraceFile, 15*time.Minute)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return tr, nil
 }

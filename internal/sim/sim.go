@@ -89,6 +89,13 @@ type Config struct {
 	// Battery configures the rack bank; zero value means the paper's
 	// default 12 kWh/40 % DoD/80 % bank.
 	Battery battery.Config
+	// Bank, when non-nil, is an externally owned battery store the
+	// session drives instead of building its own bank — the fleet
+	// coordinator hands each rack a per-epoch lease of the shared site
+	// bank. Battery and InitialSoC are then ignored, Session.Bank()
+	// returns nil, and the session cannot export state (the store's
+	// state lives with its owner).
+	Bank battery.Store
 	// Intensity is the demand pattern; nil means DiurnalIntensity.
 	Intensity IntensityFunc
 	// Seed drives measurement noise (same seed → same observations).
@@ -359,9 +366,12 @@ type Session struct {
 	// src is rng's underlying source; its draw counter is what lets
 	// ExportState pin — and RestoreState reproduce — the exact RNG
 	// stream position.
-	src          *countingSource
-	rng          *rand.Rand
+	src *countingSource
+	rng *rand.Rand
+	// bank is the session-owned rack bank; nil when cfg.Bank supplied an
+	// external store. store is whichever of the two the controller sees.
 	bank         *battery.Bank
+	store        battery.Store
 	pb           *prober
 	groups       []server.Group
 	ctrl         *core.Controller
@@ -386,18 +396,24 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	src := newCountingSource(c.Seed)
 	rng := rand.New(src)
-	bank, err := battery.New(c.Battery)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	if err := bank.SetSoC(c.InitialSoC); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	var bank *battery.Bank
+	store := c.Bank
+	if store == nil {
+		bank, err = battery.New(c.Battery)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if err := bank.SetSoC(c.InitialSoC); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		store = bank
 	}
 	s := &Session{
 		cfg:    c,
 		src:    src,
 		rng:    rng,
 		bank:   bank,
+		store:  store,
 		groups: c.Rack.Groups(),
 	}
 	s.pb = &prober{
@@ -416,7 +432,7 @@ func NewSession(cfg Config) (*Session, error) {
 		Rack:          c.Rack,
 		DB:            c.DB,
 		Policy:        c.Policy,
-		Battery:       bank,
+		Battery:       store,
 		GridBudgetW:   c.GridBudgetW,
 		Epoch:         c.Solar.Step,
 		Prober:        s.pb,
@@ -445,7 +461,8 @@ func (s *Session) Epoch() int { return s.epoch }
 // is what a long-running daemon does.
 func (s *Session) Done() bool { return s.epoch >= s.cfg.Epochs }
 
-// Bank exposes the live battery (read-only use expected).
+// Bank exposes the live battery (read-only use expected). It is nil
+// when the session runs on an external store (Config.Bank).
 func (s *Session) Bank() *battery.Bank { return s.bank }
 
 // DB exposes the session's performance-power database.
@@ -460,15 +477,51 @@ func (s *Session) WorkloadLabel() string { return workloadLabel(s.cfg.GroupWorkl
 // EpochHours reports the epoch length in hours.
 func (s *Session) EpochHours() float64 { return s.cfg.Solar.Step.Hours() }
 
-// Step advances one scheduling epoch and returns its outcome.
+// Step advances one scheduling epoch and returns its outcome. The
+// renewable power comes from the session's own solar trace.
 func (s *Session) Step() (EpochResult, error) {
+	return s.step(s.cfg.Solar.At(s.cfg.StartEpoch + s.epoch))
+}
+
+// Allocation is one rack's per-epoch share of site-level resources, as
+// split by a fleet allocator.
+type Allocation struct {
+	// RenewableW is the rack's slice of the shared site PV feed.
+	RenewableW float64
+	// GridBudgetW is the rack's slice of the site grid budget.
+	GridBudgetW float64
+}
+
+// StepAllocated advances one scheduling epoch under a fleet
+// coordinator's allocation: the rack sees the allocated renewable power
+// instead of its own trace and the allocated grid budget instead of the
+// configured one. The battery share arrives separately, through the
+// lease installed as Config.Bank.
+func (s *Session) StepAllocated(a Allocation) (EpochResult, error) {
+	if a.RenewableW < 0 || a.GridBudgetW < 0 {
+		return EpochResult{}, fmt.Errorf("%w: allocation %+v", ErrBadConfig, a)
+	}
+	if err := s.ctrl.SetGridBudgetW(a.GridBudgetW); err != nil {
+		return EpochResult{}, fmt.Errorf("sim: epoch %d: %w", s.epoch, err)
+	}
+	return s.step(a.RenewableW)
+}
+
+// DemandBidW is the rack's demand bid for the next epoch: believed peak
+// demand priced from the controller's cached projections (controller
+// knowledge only — the fleet allocator must not see ground truth).
+func (s *Session) DemandBidW() (float64, error) {
+	return s.ctrl.BelievedDemandW(s.cfg.GroupWorkloads)
+}
+
+// step runs one epoch against the given renewable power.
+func (s *Session) step(renewable float64) (EpochResult, error) {
 	c := &s.cfg
 	e := s.epoch
 	s.epoch++
 	intensity := c.Intensity(e)
 	s.tryIntensity = intensity
 	s.pb.intensity = intensity
-	renewable := c.Solar.At(c.StartEpoch + e)
 
 	dec, err := s.ctrl.StepMixed(renewable, s.prevDemand, c.GroupWorkloads)
 	if err != nil {
@@ -486,7 +539,7 @@ func (s *Session) Step() (EpochResult, error) {
 		GridW:       dec.Execution.GridW,
 		BatteryOutW: dec.Execution.BatteryToLoadW,
 		BatteryInW:  dec.Execution.BatteryChargedW,
-		BatterySoC:  s.bank.SoC(),
+		BatterySoC:  s.store.SoC(),
 		Fractions:   dec.Fractions,
 		TrainingRun: dec.TrainingRun,
 	}
@@ -533,18 +586,25 @@ func (s *Session) Step() (EpochResult, error) {
 	return er, nil
 }
 
+// NewResult returns an empty Result primed with the session's labels
+// and epoch length, for callers that drive Step themselves — the fleet
+// coordinator appends each rack's epoch records into one of these.
+func (s *Session) NewResult() *Result {
+	return &Result{
+		Policy:     s.Policy(),
+		Workload:   s.WorkloadLabel(),
+		Epochs:     make([]EpochResult, 0, s.cfg.Epochs),
+		epochHours: s.EpochHours(),
+	}
+}
+
 // Run executes one simulation to completion.
 func Run(cfg Config) (*Result, error) {
 	s, err := NewSession(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Policy:     s.Policy(),
-		Workload:   s.WorkloadLabel(),
-		Epochs:     make([]EpochResult, 0, s.cfg.Epochs),
-		epochHours: s.EpochHours(),
-	}
+	res := s.NewResult()
 	for !s.Done() {
 		er, err := s.Step()
 		if err != nil {
@@ -552,7 +612,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.Epochs = append(res.Epochs, er)
 	}
-	res.BatteryCycles = s.bank.Cycles()
+	if s.bank != nil {
+		res.BatteryCycles = s.bank.Cycles()
+	}
 	return res, nil
 }
 

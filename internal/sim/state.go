@@ -75,8 +75,13 @@ type State struct {
 // validation or belong to a different scenario.
 var ErrBadState = errors.New("sim: bad state")
 
-// ExportState snapshots the session between steps.
+// ExportState snapshots the session between steps. Sessions driven on
+// an external battery store (Config.Bank) cannot export: the store's
+// state belongs to its owner, the fleet coordinator.
 func (s *Session) ExportState() (*State, error) {
+	if s.bank == nil {
+		return nil, errors.New("sim: export: session runs on an external battery store")
+	}
 	ctrlSt, err := s.ctrl.ExportState()
 	if err != nil {
 		return nil, fmt.Errorf("sim: export: %w", err)
@@ -120,6 +125,9 @@ func (s *Session) RestoreState(st *State) error {
 	}
 	if st.RNGDraws > maxRestoreDraws {
 		return fmt.Errorf("%w: implausible RNG draw count %d", ErrBadState, st.RNGDraws)
+	}
+	if s.bank == nil {
+		return fmt.Errorf("%w: session runs on an external battery store", ErrBadState)
 	}
 	if err := s.cfg.DB.RestoreFrom(bytes.NewReader(st.DB)); err != nil {
 		return fmt.Errorf("sim: restore database: %w", err)
