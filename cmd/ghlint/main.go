@@ -1,19 +1,21 @@
 // Command ghlint runs the repository's domain-aware static-analysis
 // suite (internal/lint): the statement-local analyzers (determinism,
-// seedflow, unitsafety, floateq), the flow-sensitive concurrency
-// analyzers (guardedby, goleak, deferclose), and the interprocedural
-// call-graph analyzers (allocfree, dettaint). It is the mechanical
-// guardian of the invariants the simulator's bit-identical
-// serial-vs-parallel proof — the daemon's lock discipline, and the
-// epoch hot path's zero-alloc contract — depend on.
+// seedflow, floateq), the flow-sensitive concurrency analyzers
+// (guardedby, goleak, deferclose, chanbound), and the interprocedural
+// call-graph analyzers (units, allocfree, dettaint). It is the
+// mechanical guardian of the invariants the simulator's bit-identical
+// serial-vs-parallel proof — the daemon's lock discipline, the epoch
+// hot path's zero-alloc contract, and the W/Wh/h dimension discipline
+// — depend on.
 //
 // Usage:
 //
 //	go run ./cmd/ghlint ./...             # whole repo, all analyzers
 //	go run ./cmd/ghlint ./internal/sim    # one package
-//	go run ./cmd/ghlint -analyzers floateq,unitsafety ./...
+//	go run ./cmd/ghlint -analyzers floateq,units ./...
 //	go run ./cmd/ghlint -json ./...       # machine-readable findings
 //	go run ./cmd/ghlint -sarif ./...      # SARIF 2.1.0 for code scanning
+//	go run ./cmd/ghlint -baseline prior.json ./...  # only NEW findings fail
 //	go run ./cmd/ghlint -list             # describe the analyzers
 //
 // Exit status: 0 clean, 1 findings reported, 2 usage or load error.
@@ -32,6 +34,17 @@
 // GitHub code scanning ingests to render findings as PR annotations.
 // Suppressed findings carry an inSource suppression object, which code
 // scanning honors. Byte-stability matches -json.
+//
+// -baseline takes a findings file from a prior -json run and reports
+// only findings NOT in it, so a new analyzer can be adopted
+// incrementally: snapshot the pre-existing debt once, then every
+// branch fails only on findings it introduced. Findings are matched by
+// (file, analyzer, message) — line and column are deliberately ignored
+// so unrelated edits that shift a tolerated finding down the file do
+// not break the build. New findings print in the same stable order as
+// -json. Exit status: 0 when every unsuppressed finding is covered by
+// the baseline, 1 when new findings exist, 2 when the baseline file is
+// unreadable or not a -json findings array.
 //
 // Findings are suppressed line-by-line with a reasoned directive the
 // driver verifies:
@@ -65,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list        = fs.Bool("list", false, "list the analyzers and exit")
 		jsonOut     = fs.Bool("json", false, "emit findings as a sorted JSON array (suppressed findings included and marked)")
 		sarifOut    = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log for GitHub code scanning")
+		basePath    = fs.String("baseline", "", "findings file from a prior -json run; only findings not in it are reported (matched by file+analyzer+message, line drift ignored)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ghlint [flags] [packages]\n\n"+
@@ -79,6 +93,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *jsonOut && *sarifOut {
 		fmt.Fprintf(stderr, "ghlint: -json and -sarif are mutually exclusive\n")
 		return 2
+	}
+	if *basePath != "" && (*jsonOut || *sarifOut) {
+		fmt.Fprintf(stderr, "ghlint: -baseline filters the default text output; it cannot be combined with -json or -sarif\n")
+		return 2
+	}
+	var baseline map[string]bool
+	if *basePath != "" {
+		var err error
+		if baseline, err = loadBaseline(*basePath); err != nil {
+			fmt.Fprintf(stderr, "ghlint: baseline: %v\n", err)
+			return 2
+		}
 	}
 	analyzers, err := selectAnalyzers(*analyzerCSV)
 	if err != nil {
@@ -130,9 +156,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		for _, d := range lint.RunProgramPackage(prog, pkg, analyzers) {
 			pos := pkg.Fset.Position(d.Pos)
+			if baseline != nil {
+				// Collect and defer: baseline filtering needs the
+				// whole-run view to print new findings in one stable
+				// order.
+				jdiags = append(jdiags, jsonDiagnostic{
+					File:     relPos(pos.Filename),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+				continue
+			}
 			fmt.Fprintf(stdout, "%s: [%s] %s\n", relPos(pos.String()), d.Analyzer, d.Message)
 			findings++
 		}
+	}
+	if baseline != nil {
+		var fresh []jsonDiagnostic
+		for _, d := range jdiags {
+			if !baseline[baselineKey(d)] {
+				fresh = append(fresh, d)
+			}
+		}
+		sortDiags(fresh)
+		for _, d := range fresh {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+		if len(fresh) > 0 {
+			fmt.Fprintf(stderr, "ghlint: %d finding(s) not in baseline %s; fix them, suppress them with a reasoned directive, or refresh the baseline\n",
+				len(fresh), *basePath)
+			return 1
+		}
+		return 0
 	}
 	switch {
 	case *jsonOut:
@@ -166,10 +223,11 @@ type jsonDiagnostic struct {
 	Suppressed bool   `json:"suppressed"`
 }
 
-// writeJSON emits the findings as one stably-sorted, indented JSON
-// array. Sorting here (not per package) makes the bytes a pure function
-// of the analyzed source, independent of package enumeration order.
-func writeJSON(w io.Writer, diags []jsonDiagnostic) error {
+// sortDiags orders findings by file, line, column, analyzer, message —
+// the one canonical order shared by -json, -sarif, and -baseline, so
+// every output mode's bytes are a pure function of the analyzed source,
+// independent of package enumeration order.
+func sortDiags(diags []jsonDiagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -186,6 +244,39 @@ func writeJSON(w io.Writer, diags []jsonDiagnostic) error {
 		}
 		return a.Message < b.Message
 	})
+}
+
+// baselineKey identifies a finding for -baseline matching. Line and
+// column are deliberately absent: a tolerated finding that drifts down
+// the file under unrelated edits stays tolerated.
+func baselineKey(d jsonDiagnostic) string {
+	return d.File + "\x00" + d.Analyzer + "\x00" + d.Message
+}
+
+// loadBaseline reads a prior -json findings file into the tolerated
+// set. Suppressed entries are included: a finding that was silenced
+// with a directive at snapshot time stays non-failing if the directive
+// is later dropped but the baseline still vouches for it.
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, fmt.Errorf("%s is not a ghlint -json findings array: %v", path, err)
+	}
+	tolerated := make(map[string]bool, len(diags))
+	for _, d := range diags {
+		tolerated[baselineKey(d)] = true
+	}
+	return tolerated, nil
+}
+
+// writeJSON emits the findings as one stably-sorted, indented JSON
+// array.
+func writeJSON(w io.Writer, diags []jsonDiagnostic) error {
+	sortDiags(diags)
 	out, err := json.MarshalIndent(diags, "", "  ")
 	if err != nil {
 		return err
@@ -264,22 +355,7 @@ type sarifSuppression struct {
 // reuses the -json sort, so the bytes are a pure function of the
 // analyzed source.
 func writeSARIF(w io.Writer, analyzers []*lint.Analyzer, diags []jsonDiagnostic) error {
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		if a.Analyzer != b.Analyzer {
-			return a.Analyzer < b.Analyzer
-		}
-		return a.Message < b.Message
-	})
+	sortDiags(diags)
 	rules := make([]sarifRule, 0, len(analyzers)+1)
 	for _, a := range analyzers {
 		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})

@@ -62,7 +62,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, stderr.String())
 	}
-	for _, name := range []string{"determinism", "seedflow", "unitsafety", "floateq", "guardedby", "goleak", "deferclose", "allocfree", "dettaint"} {
+	for _, name := range []string{"determinism", "seedflow", "units", "floateq", "guardedby", "goleak", "deferclose", "chanbound", "allocfree", "dettaint"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
 		}
@@ -240,6 +240,155 @@ func TestRunUnknownAnalyzer(t *testing.T) {
 		t.Fatalf("run(-analyzers nosuch) = %d, want 2", code)
 	}
 	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+// baselineModule builds a throwaway module with two deliberate
+// dimension bugs (power added to energy) and chdirs into it, so the
+// -baseline tests can snapshot real findings without planting any in
+// the repository itself.
+func baselineModule(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.EvalSymlinks(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a.go":   "package tmpmod\n\nfunc MixA(aW, bWh float64) float64 { return aW + bWh }\n",
+		"b.go":   "package tmpmod\n\nfunc MixB(aW, bWh float64) float64 { return aW + bWh }\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Errorf("restoring working directory: %v", err)
+		}
+	})
+	return dir
+}
+
+// TestRunBaselineCoversAndCatches pins the -baseline adoption loop:
+// snapshot a tree's findings with -json, re-run against the snapshot
+// and exit 0, then introduce new findings and exit 1 reporting ONLY
+// those — in the same stable order as -json, byte-identical across
+// runs — even after the tolerated findings drift to different lines.
+func TestRunBaselineCoversAndCatches(t *testing.T) {
+	dir := baselineModule(t)
+
+	var snap, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &snap, &stderr); code != 1 {
+		t.Fatalf("run(-json) over the buggy module = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	base := filepath.Join(dir, "findings.json")
+	if err := os.WriteFile(base, snap.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-baseline) with all findings covered = %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("covered run produced output: %s", stdout.String())
+	}
+
+	// Shift a tolerated finding down its file (line drift must not
+	// un-cover it) and add two new bugs in two files.
+	drifted := "package tmpmod\n\n// padding\n// padding\nfunc MixA(aW, bWh float64) float64 { return aW + bWh }\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]string{
+		"c.go": "package tmpmod\n\nfunc MixC(aW, bWh float64) float64 { return aW + bWh }\n",
+		"d.go": "package tmpmod\n\nfunc MixD(aW, bWh float64) float64 { return aW + bWh }\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out1, out2 bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "./..."}, &out1, &stderr); code != 1 {
+		t.Fatalf("run(-baseline) with new findings = %d, want 1\nstdout: %s\nstderr: %s",
+			code, out1.String(), stderr.String())
+	}
+	if code := run([]string{"-baseline", base, "./..."}, &out2, &stderr); code != 1 {
+		t.Fatalf("second run(-baseline) = %d, want 1", code)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Errorf("-baseline output is not byte-stable across runs:\n--- first\n%s\n--- second\n%s",
+			out1.String(), out2.String())
+	}
+	got := out1.String()
+	for _, tolerated := range []string{"a.go", "b.go"} {
+		if strings.Contains(got, tolerated) {
+			t.Errorf("baselined finding in %s resurfaced:\n%s", tolerated, got)
+		}
+	}
+	ci, di := strings.Index(got, "c.go"), strings.Index(got, "d.go")
+	if ci < 0 || di < 0 {
+		t.Fatalf("new findings missing from -baseline output:\n%s", got)
+	}
+	if ci > di {
+		t.Errorf("-baseline output not in file order (c.go after d.go):\n%s", got)
+	}
+	if !strings.Contains(stderr.String(), "not in baseline") {
+		t.Errorf("stderr missing baseline diagnosis: %s", stderr.String())
+	}
+}
+
+// TestRunBaselineBadFile pins the failure modes around the baseline
+// file itself: missing or malformed baselines are usage errors (exit
+// 2), never silently treated as empty — an empty tolerated set would
+// turn every adopted finding into a build break.
+func TestRunBaselineBadFile(t *testing.T) {
+	dir := baselineModule(t)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", filepath.Join(dir, "nosuch.json"), "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-baseline nosuch.json) = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "baseline") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", garbage, "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-baseline garbage.json) = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "findings array") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+// TestRunBaselineExclusive pins that -baseline cannot be combined with
+// the machine formats: the snapshot loop is json-out, text-in.
+func TestRunBaselineExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-baseline", "x.json", "./internal/fit"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-json -baseline) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-baseline") {
 		t.Errorf("stderr missing diagnosis: %s", stderr.String())
 	}
 }

@@ -23,9 +23,13 @@ type Config struct {
 	CapacityWh float64
 	// DepthOfDischarge is the usable fraction of capacity (paper: 0.40
 	// — the bank never drains below 60 % state of charge).
+	//
+	// ghlint:units frac
 	DepthOfDischarge float64
 	// Efficiency is the round-trip efficiency, applied on charge
 	// (paper: 0.80).
+	//
+	// ghlint:units frac
 	Efficiency float64
 	// MaxChargeW caps charging power; 0 means unlimited.
 	MaxChargeW float64
@@ -77,6 +81,7 @@ type Store interface {
 	// SoC reports the state of charge in [0, 1].
 	//
 	// ghlint:allocfree
+	// ghlint:units result=frac
 	SoC() float64
 	// AtDoD reports whether the store is pinned at its DoD floor.
 	//
@@ -158,6 +163,7 @@ func (b *Bank) ChargeWh() float64 { return b.chargeWh }
 // SoC reports the state of charge in [0, 1].
 //
 // ghlint:allocfree
+// ghlint:units result=frac
 func (b *Bank) SoC() float64 { return b.chargeWh / b.cfg.CapacityWh }
 
 // AtDoD reports whether the bank has drained to its DoD floor and can no

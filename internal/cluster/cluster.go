@@ -227,6 +227,8 @@ type Config struct {
 	SiteGridBudgetW float64
 	// InitialSoC sets the site bank's starting state of charge (0 =
 	// full, as in the paper §V-B.1).
+	//
+	// ghlint:units frac
 	InitialSoC float64
 	// Epochs is the simulation length.
 	Epochs int
@@ -263,6 +265,8 @@ type SiteEpoch struct {
 	BatteryOutW float64
 	BatteryInW  float64
 	// BatterySoC is the site bank's state of charge after settlement.
+	//
+	// ghlint:units frac
 	BatterySoC float64
 }
 

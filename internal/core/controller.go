@@ -382,6 +382,7 @@ func (c *Controller) StepMixedObserved(obs Observation, groupWs []workload.Workl
 // zero) clamp to zero.
 //
 // ghlint:allocfree
+// ghlint:units fallback=W result=W
 func (c *Controller) forecast(h timeseries.Predictor, fallback float64) float64 {
 	v, err := h.Forecast()
 	if err != nil {
@@ -507,6 +508,7 @@ func (c *Controller) FeedbackMixed(groupWs []workload.Workload, groupSamples map
 // budget before stepping the rack.
 //
 // ghlint:allocfree
+// ghlint:units w=W
 func (c *Controller) SetGridBudgetW(w float64) error {
 	if w < 0 {
 		return fmt.Errorf("%w: grid budget %v", ErrBadConfig, w)

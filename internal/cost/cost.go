@@ -44,9 +44,16 @@ var (
 
 // Bill itemizes the grid charges for one billing window.
 type Bill struct {
-	// EnergyKWh is the total grid energy consumed.
+	// EnergyKWh is the total grid energy consumed. The dimension lattice
+	// tracks energy, not scale — the kilo prefix is this package's own
+	// convention.
+	//
+	// ghlint:units Wh
 	EnergyKWh float64
-	// PeakKW is the highest epoch-average grid draw.
+	// PeakKW is the highest epoch-average grid draw (power; kilo prefix
+	// as above).
+	//
+	// ghlint:units W
 	PeakKW float64
 	// EnergyCost and PeakCost are the itemized charges; Total sums them.
 	EnergyCost float64

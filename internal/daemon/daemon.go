@@ -187,8 +187,8 @@ func New(cfg Config) (*Daemon, error) {
 		logf:            logf,
 		history:         history,
 		checkpointEpoch: -1,
-		stop:            make(chan struct{}),
-		done:            make(chan struct{}),
+		stop:            make(chan struct{}), // ghlint:unbounded close-only shutdown signal; Stop closes it, run only selects on it
+		done:            make(chan struct{}), // ghlint:unbounded close-only exit signal; run closes it, Stop blocks until the close
 	}
 	if store != nil {
 		// Checkpoint immediately: a fresh dir gets its identity snapshot

@@ -46,6 +46,7 @@ type SPC struct{}
 // power→state mapping.
 //
 // ghlint:allocfree
+// ghlint:units fractions=frac supplyW=W
 func (SPC) Instructions(rack *server.Rack, fractions []float64, supplyW float64) ([]Instruction, error) {
 	if len(fractions) != rack.NumGroups() {
 		return nil, fmt.Errorf("%w: %d fractions, %d groups", ErrFractionMismatch, len(fractions), rack.NumGroups())

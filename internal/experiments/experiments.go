@@ -249,6 +249,8 @@ func rackAnchorW(r *server.Rack) float64 { return r.PeakW() * 0.83 }
 func freshPolicies() []policy.Policy { return policy.All() }
 
 // fmtF formats a float at the given precision.
+//
+//lint:ghlint ignore units pure display formatter; it takes values of every dimension by design
 func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
 
 // fmtX formats a ratio as "1.53x".

@@ -20,8 +20,60 @@ func TestSeedflowAnalyzer(t *testing.T) {
 	linttest.Run(t, lint.SeedflowAnalyzer, corePath, "seedflow/seedflow.go")
 }
 
-func TestUnitsafetyAnalyzer(t *testing.T) {
-	linttest.Run(t, lint.UnitsafetyAnalyzer, corePath, "unitsafety/unitsafety.go")
+// TestUnitsAnalyzer proves the dimension-flow engine end to end:
+// suffix and annotation seeding, malformed-annotation findings, static
+// and interface call-boundary mismatches, laundering through neutral
+// parameters, locals, and fields, the multiplicative conversion
+// triangle staying silent, and reasoned suppression.
+func TestUnitsAnalyzer(t *testing.T) {
+	linttest.Run(t, lint.UnitsAnalyzer, corePath, "units/units.go")
+}
+
+// TestUnitsKeepsUnitsafetyFixtureGreen pins the retirement contract:
+// the old local analyzer's fixture passes unchanged wants under the
+// interprocedural engine — every mix it caught is still caught, every
+// legal conversion is still silent.
+func TestUnitsKeepsUnitsafetyFixtureGreen(t *testing.T) {
+	linttest.Run(t, lint.UnitsAnalyzer, corePath, "unitsafety/unitsafety.go")
+}
+
+// TestUnitsLaunderRegression replays the laundering shape that
+// motivated the engine (a W value read into a neutral local, then
+// handed to a helper that adds it to a Wh value) and proves units
+// reports it where the retired suffix-only unitsafety pass — run here
+// against the very same fixture — sees nothing.
+func TestUnitsLaunderRegression(t *testing.T) {
+	linttest.Run(t, lint.UnitsAnalyzer, corePath, "units/launder.go")
+
+	pkg, err := lint.LoadFiles(corePath, "testdata/units/launder.go")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	for _, d := range lint.RunPackage(pkg, []*lint.Analyzer{lint.UnitsafetyAnalyzer}) {
+		t.Errorf("retired unitsafety unexpectedly reports the laundered mix: [%s] %s — the regression fixture no longer proves the gap", d.Analyzer, d.Message)
+	}
+}
+
+// TestChanboundAnalyzer proves the bounded-concurrency contract:
+// capacity-less makes, sends without an escape, select default and
+// cancellation escapes, mayblock contracts, and dead or reasonless
+// directives.
+func TestChanboundAnalyzer(t *testing.T) {
+	linttest.Run(t, lint.ChanboundAnalyzer, "greenhetero/internal/telemetry", "chanbound/chanbound.go")
+}
+
+// TestChanboundGatedOutsideScope verifies the backpressure-scope gate:
+// the same violation-dense fixture loaded under a deterministic-core
+// path must produce nothing — the contract binds telemetry and daemon
+// only until the rest of the repo migrates.
+func TestChanboundGatedOutsideScope(t *testing.T) {
+	pkg, err := lint.LoadFiles(corePath, "testdata/chanbound/chanbound.go")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	for _, d := range lint.RunPackage(pkg, []*lint.Analyzer{lint.ChanboundAnalyzer}) {
+		t.Errorf("unexpected diagnostic outside the backpressure scope: [%s] %s", d.Analyzer, d.Message)
+	}
 }
 
 func TestFloateqAnalyzer(t *testing.T) {

@@ -68,6 +68,10 @@ type Program struct {
 	// ifaceMethods maps an in-program interface key ("pkg.(Iface)") to
 	// its full method-name list (embedded interfaces flattened).
 	ifaceMethods map[string][]string
+
+	// units caches the dimension-flow engine (units.go) so every
+	// package's units pass shares one program-wide fixpoint.
+	units *unitsEngine
 }
 
 // FuncNode is one function declaration or function literal.

@@ -57,6 +57,16 @@ var wallClockAllowed = map[string]bool{
 	"faultnet":  true,
 }
 
+// backpressureScope lists the packages under the bounded-concurrency
+// contract (chanbound): the telemetry plane being rebuilt for 10k-agent
+// scale (ROADMAP item 4) and the daemon that hosts it. Channels here
+// must declare their capacity policy and sends must prove an escape;
+// the rest of the repo opts in as its concurrency structure migrates.
+var backpressureScope = map[string]bool{
+	"telemetry": true,
+	"daemon":    true,
+}
+
 // pkgKey reduces an import path to the name it is classified under:
 // "greenhetero/internal/sim" → "sim". Paths outside this module's
 // internal tree (cmd/, examples/, the root package, other modules)

@@ -17,14 +17,12 @@
 // go/types so the tool builds with no third-party dependencies: the
 // linter that guards the build must not complicate it.
 //
-// Nine analyzers ship today. Four are statement-local AST passes:
+// Ten analyzers ship today. Three are statement-local AST passes:
 //
 //   - determinism: forbids wall-clock, global-RNG, environment, and
 //     CPU-count reads inside the deterministic core packages.
 //   - seedflow: requires rand.NewSource seeds in the core to come from
 //     runner.DeriveSeed or a config Seed field, never ad-hoc arithmetic.
-//   - unitsafety: rejects additive arithmetic or comparisons mixing
-//     watt-suffixed (W/Watts) and watt-hour-suffixed (Wh) identifiers.
 //   - floateq: rejects ==/!= between non-constant floating-point
 //     expressions outside approved epsilon helpers.
 //
@@ -41,9 +39,23 @@
 //   - deferclose: net/os resources must be closed, returned, or stored
 //     on every control-flow path from their acquisition.
 //
-// Two are interprocedural, built on a whole-program call graph
+// One enforces the telemetry plane's bounded-concurrency contract:
+//
+//   - chanbound: every make(chan) in internal/telemetry and
+//     internal/daemon needs an explicit capacity or a reasoned
+//     `// ghlint:unbounded` directive, and every send needs a provable
+//     non-blocking escape (select default, cancellation case, or a
+//     `ghlint:mayblock` contract).
+//
+// Three are interprocedural, built on a whole-program call graph
 // (callgraph.go) shared across every loaded package:
 //
+//   - units: dimension-flow analysis over the W/Wh/h/frac lattice —
+//     dimensions seeded from identifier suffixes and `// ghlint:units`
+//     annotations propagate through assignments, calls, returns, and
+//     field stores; additive mixing, cross-boundary mismatches, and
+//     laundering through neutral names are findings. Replaces the
+//     retired local unitsafety pass (kept as a regression baseline).
 //   - allocfree: functions annotated `// ghlint:allocfree` contain no
 //     allocation site and call only annotated, whitelisted, or
 //     contract-verified callees — the static form of the epoch hot
@@ -138,11 +150,12 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		SeedflowAnalyzer,
-		UnitsafetyAnalyzer,
+		UnitsAnalyzer,
 		FloateqAnalyzer,
 		GuardedbyAnalyzer,
 		GoleakAnalyzer,
 		DefercloseAnalyzer,
+		ChanboundAnalyzer,
 		AllocfreeAnalyzer,
 		DettaintAnalyzer,
 	}

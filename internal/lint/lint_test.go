@@ -109,7 +109,7 @@ func TestModuleRootOutsideModule(t *testing.T) {
 }
 
 func TestAnalyzerNamesStable(t *testing.T) {
-	want := []string{"determinism", "seedflow", "unitsafety", "floateq", "guardedby", "goleak", "deferclose", "allocfree", "dettaint"}
+	want := []string{"determinism", "seedflow", "units", "floateq", "guardedby", "goleak", "deferclose", "chanbound", "allocfree", "dettaint"}
 	got := AnalyzerNames()
 	if len(got) != len(want) {
 		t.Fatalf("AnalyzerNames() = %v, want %v", got, want)

@@ -1,0 +1,57 @@
+// Fixture for the chanbound analyzer: every make(chan) needs an
+// explicit capacity or a reasoned ghlint:unbounded directive, every
+// send needs a provable non-blocking escape (select default,
+// cancellation case, or a ghlint:mayblock contract), and the
+// directives themselves are checked for reasons and dead placement.
+package chanbound
+
+import "context"
+
+func makes(n int) {
+	c1 := make(chan int) // want "without an explicit capacity"
+	c2 := make(chan int, n)
+	c3 := make(chan struct{}) // ghlint:unbounded close-only completion signal; never sent on
+	// ghlint:unbounded close-only stop signal; receivers block on close
+	c4 := make(chan struct{})
+	c5 := make(chan int, 4) // ghlint:unbounded wrong: already bounded // want "dead ghlint:unbounded"
+	// ghlint:unbounded // want "missing reason"
+	c6 := make(chan int)
+	// ghlint:unbounded stray: nothing to govern on the next line // want "dead directive"
+	m := n + 1
+	_, _, _, _, _, _, _ = c1, c2, c3, c4, c5, c6, m
+}
+
+func sends(ctx context.Context, c chan int, v int) {
+	c <- v // want "no non-blocking escape"
+	select {
+	case c <- v: // shed path: the default drops on a full buffer
+	default:
+	}
+	select {
+	case c <- v: // aborts when the context is cancelled
+	case <-ctx.Done():
+	}
+	select {
+	case c <- v: // want "no non-blocking escape"
+	}
+	select {
+	case <-ctx.Done():
+		c <- v // want "no non-blocking escape"
+	default:
+	}
+	c <- v // ghlint:mayblock fixture: paired with a dedicated drainer goroutine
+	// ghlint:mayblock stray: governs a plain statement // want "dead directive"
+	_ = v
+}
+
+// handoff performs a synchronous rendezvous by design.
+//
+// ghlint:mayblock the caller owns the pairing receive; blocking is the contract
+func handoff(c chan int, v int) {
+	c <- v
+}
+
+// ghlint:mayblock // want "missing reason"
+func badContract(c chan int, v int) {
+	c <- v // want "no non-blocking escape"
+}

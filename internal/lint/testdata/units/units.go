@@ -1,0 +1,97 @@
+// Fixture for the interprocedural units analyzer: dimensions seeded
+// from identifier suffixes and ghlint:units annotations flow through
+// assignments, call boundaries (static and interface), returns, and
+// field stores; additive mixing, cross-boundary mismatches, laundering
+// through neutral names, and malformed annotations are findings, while
+// the multiplicative conversion triangle (W × h = Wh, Wh / h = W,
+// Wh / W = h, like/like = frac) stays silent.
+package units
+
+import "time"
+
+// Plant mixes suffixed, annotated, and deliberately broken fields.
+type Plant struct {
+	// ghlint:units Wh
+	Reserve float64
+	SupplyW float64
+	Horizon float64 // ghlint:units h
+	Ratio   float64 // ghlint:units frac
+	Bad     float64 // ghlint:units joules // want "not a dimension"
+	PeakW   float64 // ghlint:units Wh // want "contradicts"
+}
+
+// Store is an in-program interface whose declaration carries the
+// dimension contract for every implementation and call site.
+type Store interface {
+	// ghlint:units offerW=W result=Wh
+	Absorb(offerW float64) float64
+}
+
+// charge converts a power rate over a duration into energy.
+//
+// ghlint:units w=W d=h result=Wh
+func charge(w, d float64) float64 {
+	return w * d
+}
+
+// ghlint:units q=W // want "no parameter or result"
+func noSuchParam(x float64) float64 { return x }
+
+// ghlint:units W // want "not name=dim"
+func bareEntry(x float64) float64 { return x }
+
+func misuse(p Plant) float64 {
+	return charge(p.Reserve, p.Horizon) // want "dimension mismatch"
+}
+
+func drive(s Store, p Plant) float64 {
+	return s.Absorb(p.Reserve) // want "dimension mismatch"
+}
+
+// blend receives power from one call site and energy from the other:
+// the neutral parameter is where the dimension is laundered.
+func blend(v float64) float64 { return v } // want "mixed dimensions"
+
+func callers(p Plant) float64 {
+	return blend(p.SupplyW) + blend(p.Reserve)
+}
+
+func blend2(x float64) float64 { return x }
+
+func launderLocal(p Plant) float64 {
+	acc := p.SupplyW
+	acc = p.Reserve // want "launders mixed dimensions"
+	return blend2(acc)
+}
+
+// Sink's neutral field accumulates both dimensions from its stores.
+type Sink struct {
+	Level float64 // want "mixed dimensions"
+}
+
+func fill(s *Sink, p Plant) {
+	s.Level = p.SupplyW
+	s.Level = p.Reserve
+}
+
+func misfill(p Plant) Plant {
+	return Plant{Reserve: p.SupplyW} // want "dimension mismatch"
+}
+
+func build(p Plant) Plant {
+	return Plant{Reserve: p.Reserve, SupplyW: p.SupplyW, Horizon: p.Horizon}
+}
+
+func conversions(p Plant, d time.Duration) float64 {
+	energyWh := p.SupplyW * d.Hours() // W × h = Wh
+	backW := energyWh / p.Horizon     // Wh / h = W
+	hrs := p.Reserve / backW          // Wh / W = h
+	ratio := p.Reserve / energyWh     // Wh / Wh = frac
+	scaled := p.SupplyW * p.Ratio     // frac scales without converting
+	return energyWh*ratio + charge(backW+scaled, hrs+p.Horizon)
+}
+
+func quieted(p Plant) float64 {
+	//lint:ghlint ignore units fixture: intentionally dimensionless blend
+	return p.SupplyW + p.Reserve
+}

@@ -1,7 +1,8 @@
-// Fixture for the unitsafety analyzer: additive arithmetic and
-// comparisons may not mix watt-suffixed and watt-hour-suffixed
-// identifiers; multiplicative conversion is the legal path between the
-// two dimensions.
+// Fixture for the units analyzer (kept green across the retirement of
+// the local unitsafety pass): additive arithmetic and comparisons may
+// not mix watt-suffixed and watt-hour-suffixed identifiers;
+// multiplicative conversion is the legal path between the two
+// dimensions.
 package unitsafety
 
 import "time"
@@ -33,10 +34,10 @@ func good(b Bank, gridW, loadWh float64, d time.Duration) float64 {
 	powerW := gridW + b.MaxChargeW       // same dimension adds fine
 	ratio := b.ChargeWh / b.CapacityWh   // division of like units is fine
 	raw := gridW + ratio                 // unitless operand: no mix
-	return energyWh + raw + powerW*0
+	return energyWh + raw + powerW*0*d.Hours()
 }
 
 func suppressed(gridW, loadWh float64) float64 {
-	//lint:ghlint ignore unitsafety fixture: intentionally dimensionless blend
+	//lint:ghlint ignore units fixture: intentionally dimensionless blend
 	return gridW + loadWh
 }

@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"greenhetero/internal/lint"
+)
+
+// TestUnitsAnnotationsCoverCore closes the loop between the naming
+// convention and the dimension-flow engine: every exported W/Wh-suffixed
+// struct field in the dimensioned core's central packages (battery,
+// power, cluster) must resolve to its suffix's dimension in the engine's
+// field table — by suffix, annotation, or inference. A field the engine
+// cannot resolve is a hole in the dimension discipline: stores through
+// it would launder units invisibly, and neither a mix nor a mismatch
+// downstream of it could ever be reported.
+func TestUnitsAnnotationsCoverCore(t *testing.T) {
+	root := filepath.Join("..", "..")
+	pkgs, err := lint.Load(root, "./internal/battery", "./internal/power", "./internal/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := lint.UnitsFieldDims(lint.BuildProgram(pkgs))
+
+	checked := 0
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !tn.Exported() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				want := suffixDim(f.Name())
+				if !f.Exported() || want == "" {
+					continue
+				}
+				checked++
+				key := pkg.Path + ".(" + name + ")." + f.Name()
+				got, ok := dims[key]
+				if !ok {
+					t.Errorf("%s: exported unit-suffixed field did not resolve to any dimension in the units engine", key)
+					continue
+				}
+				if got != want {
+					t.Errorf("%s: resolves to %q, the suffix promises %q", key, got, want)
+				}
+			}
+		}
+	}
+	// The battery/power/cluster structs carry well over a dozen
+	// suffixed fields; a collapse here means the loader or the engine
+	// silently stopped seeing them.
+	if checked < 15 {
+		t.Fatalf("only %d suffixed exported fields checked; the sweep lost its subject", checked)
+	}
+}
+
+// suffixDim mirrors the engine's W/Wh suffix classification for the
+// coverage walk (fractions and hours are covered by fixtures; the
+// W-vs-Wh confusion is the one that corrupts EPU numbers).
+func suffixDim(name string) string {
+	switch {
+	case boundarySuffix(name, "Wh"):
+		return "Wh"
+	case boundarySuffix(name, "W"), boundarySuffix(name, "Watts"):
+		return "W"
+	}
+	return ""
+}
+
+// boundarySuffix requires a camel-case boundary before the suffix, like
+// the engine's own classifier.
+func boundarySuffix(name, suffix string) bool {
+	if len(name) <= len(suffix) || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	prev := name[len(name)-len(suffix)-1]
+	return prev >= 'a' && prev <= 'z' || prev >= '0' && prev <= '9'
+}

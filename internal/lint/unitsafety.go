@@ -15,6 +15,14 @@ import (
 // how units convert); addition, subtraction, and comparisons between a
 // W-suffixed and a Wh-suffixed operand are always bugs unless one side
 // passed through a named conversion first.
+//
+// Deprecated: retired from the shipped suite in favor of the
+// interprocedural units analyzer (units.go), which subsumes this check
+// and additionally tracks dimensions through assignments, call
+// boundaries, and field stores — the laundering shapes this local,
+// suffix-only pass is blind to. The analyzer stays exported solely as
+// the regression baseline: TestUnitsLaunderRegression runs it against
+// the launder fixture to prove the shape it misses is now caught.
 var UnitsafetyAnalyzer = &Analyzer{
 	Name: "unitsafety",
 	Doc: "flag additive arithmetic and comparisons mixing watt-suffixed " +

@@ -90,6 +90,8 @@ type Policy interface {
 	// database when this policy runs.
 	UpdatesDB() bool
 	// Allocate returns the PAR vector (one fraction per group, sum ≤ 1).
+	//
+	// ghlint:units result0=frac
 	Allocate(ctx Context) ([]float64, error)
 }
 

@@ -180,6 +180,7 @@ func dischargeable(in Inputs) float64 {
 }
 
 // ghlint:allocfree
+// ghlint:units a=W b=W result=W
 func min(a, b float64) float64 {
 	if a < b {
 		return a

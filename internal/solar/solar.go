@@ -177,6 +177,8 @@ func Generate(cfg Config) (*trace.Trace, error) {
 // 0 outside [sunrise, sunset], a squared half-sine inside (the squared
 // shape approximates the measured irradiance curves better than a plain
 // half-sine near sunrise/sunset).
+//
+// ghlint:units hour=h sunrise=h sunset=h result=frac
 func diurnal(hour, sunrise, sunset float64) float64 {
 	if hour <= sunrise || hour >= sunset {
 		return 0

@@ -152,6 +152,7 @@ type search struct {
 // objective projects aggregate throughput for a PAR vector.
 //
 // ghlint:allocfree
+// ghlint:units fracs=frac
 func (s *search) objective(fracs []float64) float64 {
 	s.evals++
 	var total float64
@@ -163,6 +164,8 @@ func (s *search) objective(fracs []float64) float64 {
 }
 
 // gridSearch scans the simplex at the given step.
+//
+// ghlint:units step=frac
 func (s *search) gridSearch(step float64) candidate {
 	n := len(s.models)
 	steps := int(1/step + 0.5)
@@ -205,6 +208,8 @@ func (s *search) gridSearch(step float64) candidate {
 // refine runs shrinking coordinate-descent passes around c. Each pass
 // perturbs one coordinate pair (i gains what j loses, keeping the sum
 // constant) by ±step, halving the step each pass.
+//
+// ghlint:units step=frac
 func (s *search) refine(c candidate, step float64, passes int) candidate {
 	n := len(s.models)
 	if n == 1 {
@@ -249,6 +254,7 @@ func (s *search) refine(c candidate, step float64, passes int) candidate {
 // trim cuts each group's fraction back to what it can actually consume
 // (Count × PeakEffW), freeing surplus for the battery, and zeroes
 // fractions that leave every server below idle (pure waste).
+// ghlint:units fracs=frac result=frac
 func (s *search) trim(fracs []float64) []float64 {
 	out := append([]float64(nil), fracs...)
 	for i, m := range s.models {
@@ -267,6 +273,8 @@ func (s *search) trim(fracs []float64) []float64 {
 // UniformFractions returns the heterogeneity-oblivious baseline PAR: the
 // supply split evenly per server, so each group receives a share
 // proportional to its server count (Table III "Uniform").
+//
+// ghlint:units result0=frac
 func UniformFractions(counts []int) ([]float64, error) {
 	if len(counts) == 0 {
 		return nil, ErrNoGroups

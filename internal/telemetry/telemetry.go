@@ -551,7 +551,7 @@ func (c *Collector) Collect(ctx context.Context) ([]Result, error) {
 			results[i] = c.collectOne(ctx, a)
 		}()
 	}
-	done := make(chan struct{})
+	done := make(chan struct{}) // ghlint:unbounded close-only completion signal; closed when the WaitGroup drains
 	go func() {
 		defer close(done)
 		wg.Wait()
