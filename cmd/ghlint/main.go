@@ -39,9 +39,11 @@
 // only findings NOT in it, so a new analyzer can be adopted
 // incrementally: snapshot the pre-existing debt once, then every
 // branch fails only on findings it introduced. Findings are matched by
-// (file, analyzer, message) — line and column are deliberately ignored
-// so unrelated edits that shift a tolerated finding down the file do
-// not break the build. New findings print in the same stable order as
+// (file, analyzer, message), up to the snapshotted occurrence count
+// per key — line and column are deliberately ignored so unrelated
+// edits that shift a tolerated finding down the file do not break the
+// build, but a NEW identical instance beside a tolerated one still
+// fails. New findings print in the same stable order as
 // -json. Exit status: 0 when every unsuppressed finding is covered by
 // the baseline, 1 when new findings exist, 2 when the baseline file is
 // unreadable or not a -json findings array.
@@ -78,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list        = fs.Bool("list", false, "list the analyzers and exit")
 		jsonOut     = fs.Bool("json", false, "emit findings as a sorted JSON array (suppressed findings included and marked)")
 		sarifOut    = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log for GitHub code scanning")
-		basePath    = fs.String("baseline", "", "findings file from a prior -json run; only findings not in it are reported (matched by file+analyzer+message, line drift ignored)")
+		basePath    = fs.String("baseline", "", "findings file from a prior -json run; only findings not in it are reported (matched by file+analyzer+message up to the snapshotted count, line drift ignored)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ghlint [flags] [packages]\n\n"+
@@ -98,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ghlint: -baseline filters the default text output; it cannot be combined with -json or -sarif\n")
 		return 2
 	}
-	var baseline map[string]bool
+	var baseline map[string]int
 	if *basePath != "" {
 		var err error
 		if baseline, err = loadBaseline(*basePath); err != nil {
@@ -174,13 +176,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if baseline != nil {
+		// Sort before consuming: the baseline tolerates each key only up
+		// to its snapshotted occurrence count, so which duplicate
+		// survives depends on visit order — consume in the canonical
+		// order to keep the output a pure function of the source.
+		sortDiags(jdiags)
 		var fresh []jsonDiagnostic
 		for _, d := range jdiags {
-			if !baseline[baselineKey(d)] {
-				fresh = append(fresh, d)
+			key := baselineKey(d)
+			if baseline[key] > 0 {
+				baseline[key]--
+				continue
 			}
+			fresh = append(fresh, d)
 		}
-		sortDiags(fresh)
 		for _, d := range fresh {
 			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 		}
@@ -254,10 +263,13 @@ func baselineKey(d jsonDiagnostic) string {
 }
 
 // loadBaseline reads a prior -json findings file into the tolerated
-// set. Suppressed entries are included: a finding that was silenced
-// with a directive at snapshot time stays non-failing if the directive
-// is later dropped but the baseline still vouches for it.
-func loadBaseline(path string) (map[string]bool, error) {
+// multiset: per-key occurrence counts, so a second identical instance
+// introduced next to a tolerated one still fails — the baseline
+// vouches for exactly as many as it snapshotted. Suppressed entries
+// are included: a finding that was silenced with a directive at
+// snapshot time stays non-failing if the directive is later dropped
+// but the baseline still vouches for it.
+func loadBaseline(path string) (map[string]int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -266,9 +278,9 @@ func loadBaseline(path string) (map[string]bool, error) {
 	if err := json.Unmarshal(data, &diags); err != nil {
 		return nil, fmt.Errorf("%s is not a ghlint -json findings array: %v", path, err)
 	}
-	tolerated := make(map[string]bool, len(diags))
+	tolerated := make(map[string]int, len(diags))
 	for _, d := range diags {
-		tolerated[baselineKey(d)] = true
+		tolerated[baselineKey(d)]++
 	}
 	return tolerated, nil
 }

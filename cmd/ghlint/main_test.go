@@ -352,6 +352,46 @@ func TestRunBaselineCoversAndCatches(t *testing.T) {
 	}
 }
 
+// TestRunBaselineCountsOccurrences pins that the baseline is a
+// multiset: each (file, analyzer, message) key is tolerated only up to
+// its snapshotted occurrence count, so a second textually identical
+// instance introduced beside a tolerated finding still fails instead
+// of hiding under the first one's key.
+func TestRunBaselineCountsOccurrences(t *testing.T) {
+	dir := baselineModule(t)
+
+	var snap, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &snap, &stderr); code != 1 {
+		t.Fatalf("run(-json) over the buggy module = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	base := filepath.Join(dir, "findings.json")
+	if err := os.WriteFile(base, snap.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate the tolerated mix in a.go verbatim: same file, same
+	// analyzer, same message — only the occurrence count tells the new
+	// instance apart from the snapshotted one.
+	doubled := "package tmpmod\n\nfunc MixA(aW, bWh float64) float64 { return aW + bWh }\n\nfunc MixA2(aW, bWh float64) float64 { return aW + bWh }\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(doubled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run(-baseline) with a duplicated finding = %d, want 1\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	got := stdout.String()
+	if n := strings.Count(got, "a.go"); n != 1 {
+		t.Errorf("want exactly the one over-count duplicate reported, got %d a.go line(s):\n%s", n, got)
+	}
+	if strings.Contains(got, "b.go") {
+		t.Errorf("fully covered finding in b.go resurfaced:\n%s", got)
+	}
+}
+
 // TestRunBaselineBadFile pins the failure modes around the baseline
 // file itself: missing or malformed baselines are usage errors (exit
 // 2), never silently treated as empty — an empty tolerated set would

@@ -297,16 +297,31 @@ func (w *chanWalker) checkMake(call *ast.CallExpr) {
 		"make(chan) without an explicit capacity: a zero-capacity channel blocks every send until a receiver is ready; size it for backpressure or justify with // %s <reason>", unboundedMarker)
 }
 
-// checkSend applies rule 2 to one send statement.
+// checkSend applies rule 2 to one send statement. A mayblock line
+// directive on a send that already has an escape is claimed (and
+// reported as dead) here, mirroring checkMake's redundant-directive
+// report — otherwise the end-of-file sweep would mis-describe it as
+// having no matching statement.
 func (w *chanWalker) checkSend(s *ast.SendStmt, sel *selectInfo) {
+	line := w.pass.Fset.Position(s.Pos()).Line
+	d := w.mayblock[line]
 	if sel != nil && (sel.hasDefault || sel.hasCancel) {
+		if d != nil && !d.used {
+			d.used = true
+			w.pass.Reportf(d.pos,
+				"dead %s directive: this send already has a non-blocking escape in its select", mayblockMarker)
+		}
 		return
 	}
 	if w.contract {
+		if d != nil && !d.used {
+			d.used = true
+			w.pass.Reportf(d.pos,
+				"dead %s directive: the enclosing function's %s contract already covers this send", mayblockMarker, mayblockMarker)
+		}
 		return
 	}
-	line := w.pass.Fset.Position(s.Pos()).Line
-	if d := w.mayblock[line]; d != nil {
+	if d != nil {
 		d.used = true
 		return
 	}

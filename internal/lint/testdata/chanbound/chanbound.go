@@ -42,6 +42,10 @@ func sends(ctx context.Context, c chan int, v int) {
 	c <- v // ghlint:mayblock fixture: paired with a dedicated drainer goroutine
 	// ghlint:mayblock stray: governs a plain statement // want "dead directive"
 	_ = v
+	select {
+	case c <- v: // ghlint:mayblock wrong: the default is already the escape // want "dead ghlint:mayblock"
+	default:
+	}
 }
 
 // handoff performs a synchronous rendezvous by design.
@@ -49,6 +53,7 @@ func sends(ctx context.Context, c chan int, v int) {
 // ghlint:mayblock the caller owns the pairing receive; blocking is the contract
 func handoff(c chan int, v int) {
 	c <- v
+	c <- v // ghlint:mayblock wrong: the function contract already covers it // want "dead ghlint:mayblock"
 }
 
 // ghlint:mayblock // want "missing reason"

@@ -95,3 +95,17 @@ func quieted(p Plant) float64 {
 	//lint:ghlint ignore units fixture: intentionally dimensionless blend
 	return p.SupplyW + p.Reserve
 }
+
+// Meter exercises the method-expression calling form, whose first
+// argument is the receiver: the receiver slot has no parameter, and
+// the remaining arguments still map onto the method's parameter slots.
+type Meter struct{}
+
+// ghlint:units vW=W result=W
+func (Meter) Record(vW float64) float64 { return vW }
+
+func methodExprCalls(p Plant) float64 {
+	okW := Meter.Record(Meter{}, p.SupplyW)
+	bad := Meter.Record(Meter{}, p.Reserve) // want "dimension mismatch"
+	return okW + bad
+}

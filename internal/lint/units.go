@@ -809,12 +809,29 @@ func (c *fctx) compositeLit(lit *ast.CompositeLit) {
 // call flows argument dimensions into the callee's parameter slots and
 // marks locals that cross the call boundary.
 func (c *fctx) call(call *ast.CallExpr) {
+	if tv, ok := c.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion: the value stays in this function's hands
+	}
+	// An identifier handed to any real call crosses a boundary, whether
+	// or not the callee resolves to an in-program signature —
+	// out-of-program and dynamic callees launder a mixed-dimension
+	// local just as thoroughly as resolved ones.
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if l := c.localFor(id, false); l != nil {
+				l.usedAsArg = true
+			}
+		}
+	}
 	sig, shift := c.calleeSigShift(call)
 	if sig == nil {
 		return
 	}
 	for i, arg := range call.Args {
 		pi := i + shift
+		if pi < 0 {
+			continue // method-expression receiver: no parameter slot
+		}
 		if pi >= len(sig.params) {
 			if !sig.variadic || len(sig.params) == 0 {
 				continue
@@ -822,11 +839,6 @@ func (c *fctx) call(call *ast.CallExpr) {
 			pi = len(sig.params) - 1
 		}
 		c.flowToSlot(sig.params[pi], c.dimOf(arg), arg.Pos())
-		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
-			if l := c.localFor(id, false); l != nil {
-				l.usedAsArg = true
-			}
-		}
 	}
 }
 
