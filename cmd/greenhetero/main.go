@@ -15,6 +15,11 @@
 // coordinator: each epoch a site allocator (-alloc) splits the shared
 // PV feed, site battery bank, and site grid budget (-site-grid) across
 // racks, and the site-level epoch trace is printed.
+//
+// Scenario files with a "stress" block run as seeded failure storms:
+// the chaos schedule plays out over the fleet, a stress summary is
+// printed, and -report writes the full JSON stress report. -validate
+// parses and checks any scenario file without running it.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"greenhetero/internal/chaos"
 	"greenhetero/internal/cluster"
 	"greenhetero/internal/policy"
 	"greenhetero/internal/scenario"
@@ -66,6 +72,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "concurrent runs for -compare (0 = one per CPU, 1 = serial)")
 	csvPath := fs.String("csv", "", "also write the per-epoch record to this CSV file")
 	scenarioPath := fs.String("scenario", "", "load the run from a JSON scenario file (overrides combo/workload/trace flags)")
+	validatePath := fs.String("validate", "", "parse and check a scenario file, then exit without running")
+	reportPath := fs.String("report", "", "write the JSON stress report of a stress scenario run to this file")
 	fleetN := fs.Int("fleet", 0, "run N rack replicas as a fleet under the site coordinator")
 	allocFlag := fs.String("alloc", "hierarchical-par", "fleet allocator: uniform, demand-proportional, hierarchical-par")
 	siteGrid := fs.Float64("site-grid", 0, "site grid budget (W) for -fleet (0 = grid × racks)")
@@ -76,10 +84,30 @@ func run(args []string) error {
 		return errors.New("epochs and every must be positive")
 	}
 
+	if *validatePath != "" {
+		return validateScenario(*validatePath)
+	}
+
 	if *scenarioPath != "" {
 		sc, err := scenario.LoadFile(*scenarioPath)
 		if err != nil {
 			return err
+		}
+		if sc.Stress != nil {
+			if *compare {
+				return errors.New("stress scenarios do not support -compare")
+			}
+			storm, err := sc.BuildStorm()
+			if err != nil {
+				return err
+			}
+			storm.Fleet.Parallelism = *parallel
+			res, rep, err := chaos.Run(storm)
+			if err != nil {
+				return err
+			}
+			printStorm(res, rep)
+			return writeReportIfAsked(rep, *reportPath)
 		}
 		if sc.Fleet != nil {
 			if *compare {
@@ -208,6 +236,67 @@ func run(args []string) error {
 	}
 	printRun(res, *every)
 	return writeCSVIfAsked(res, *csvPath)
+}
+
+// validateScenario parses and checks a scenario file — including its
+// stress block and full storm expansion — without running anything.
+func validateScenario(path string) error {
+	sc, err := scenario.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case sc.Stress != nil:
+		storm, err := sc.BuildStorm()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario OK: %s (stress: %d racks, %d epochs, %d chaos events)\n",
+			sc.Name, len(storm.Fleet.Racks), sc.Epochs, len(storm.Chaos.Events))
+	case sc.Fleet != nil:
+		fcfg, err := sc.BuildFleet()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario OK: %s (fleet: %d racks, %d epochs)\n", sc.Name, len(fcfg.Racks), sc.Epochs)
+	default:
+		if _, err := sc.Build(); err != nil {
+			return err
+		}
+		fmt.Printf("scenario OK: %s (single rack, %d epochs)\n", sc.Name, sc.Epochs)
+	}
+	return nil
+}
+
+// printStorm prints a stress run's summary.
+func printStorm(res *cluster.FleetResult, rep *chaos.Report) {
+	fmt.Printf("storm %s: seed=%d racks=%d epochs=%d allocator=%s events=%d\n",
+		rep.Scenario, rep.Seed, rep.Racks, rep.Epochs, rep.Allocator, len(rep.Events))
+	fmt.Printf("fleet perf=%.0f  mean EPU=%.3f  grid=%.0f Wh (%.0f cost units)  redistributed=%.0f Wh\n",
+		rep.TotalPerf, rep.MeanEPU, rep.TotalGridWh, rep.GridCostUnits, rep.RedistributedWh)
+	fmt.Printf("degraded epochs=%d/%d  failed rack-epochs=%d  SLO violations=%d  quarantines=%d (mean recovery %.1f epochs)\n",
+		rep.DegradedEpochs, len(res.Site), rep.FailedEpochs, rep.SLOViolations,
+		rep.Quarantines, rep.MeanRecoveryEpochs)
+	if rep.DaemonCrashes > 0 || rep.DaemonRecoveries > 0 {
+		fmt.Printf("daemon crashes=%d recoveries=%d\n", rep.DaemonCrashes, rep.DaemonRecoveries)
+	}
+}
+
+// writeReportIfAsked writes the stress report JSON when a path was
+// given.
+func writeReportIfAsked(rep *chaos.Report, path string) error {
+	if path == "" {
+		return nil
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeCSVIfAsked exports the per-epoch record when a path was given.

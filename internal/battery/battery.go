@@ -242,6 +242,37 @@ func (b *Bank) SetSoC(frac float64) error {
 	return nil
 }
 
+// Fade permanently scales the bank's nameplate capacity by frac — the
+// chaos framework's battery-aging event. The DoD floor and the
+// capacity-relative comparison tolerance are recomputed for the new
+// capacity, and stored energy is clamped into the shrunken usable band;
+// landing on the new floor latches it as a cycle boundary (like
+// SetSoC), not a completed discharge cycle. Fade(1) is a no-op and
+// leaves the bank bit-identical.
+func (b *Bank) Fade(frac float64) error {
+	if math.IsNaN(frac) || frac <= 0 || frac > 1 {
+		return fmt.Errorf("%w: fade fraction %v", ErrBadConfig, frac)
+	}
+	if frac == 1 {
+		return nil
+	}
+	b.cfg.CapacityWh *= frac
+	b.floorWh = b.cfg.CapacityWh * (1 - b.cfg.DepthOfDischarge)
+	eps := b.cfg.CapacityWh * 5e-14
+	if eps < 1e-9 {
+		eps = 1e-9
+	}
+	b.epsWh = eps
+	if b.chargeWh > b.cfg.CapacityWh {
+		b.chargeWh = b.cfg.CapacityWh
+	}
+	if b.chargeWh < b.floorWh {
+		b.chargeWh = b.floorWh
+	}
+	b.atFloor = b.AtDoD()
+	return nil
+}
+
 // State is a bank's complete durable state: everything New does not
 // derive from Config. Serialized into daemon checkpoints; float fields
 // survive a JSON round-trip bit-exactly (Go emits shortest-round-trip

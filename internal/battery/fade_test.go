@@ -1,0 +1,53 @@
+package battery
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFade(t *testing.T) {
+	cfg := Config{CapacityWh: 1000, DepthOfDischarge: 0.4, Efficiency: 0.8}
+	b := mustNew(t, cfg)
+	if err := b.SetSoC(1); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range []float64{0, -0.1, 1.5, math.NaN()} {
+		if err := b.Fade(bad); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Fade(%v) = %v, want ErrBadConfig", bad, err)
+		}
+	}
+	if err := b.Fade(1); err != nil {
+		t.Fatal(err)
+	}
+	if b.ChargeWh() != 1000 {
+		t.Errorf("Fade(1) changed charge to %v", b.ChargeWh())
+	}
+
+	// Fades compound: 20% then 50% of the remainder.
+	if err := b.Fade(0.8); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.ChargeWh(); got != 800 {
+		t.Errorf("charge after 20%% fade = %v, want clamped to 800", got)
+	}
+	if got := b.SoC(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SoC after fade = %v, want 1 against faded capacity", got)
+	}
+	if err := b.Fade(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.ChargeWh(); got != 400 {
+		t.Errorf("charge after both fades = %v, want 400", got)
+	}
+
+	// The DoD floor tracks the faded capacity: charge never clamps
+	// below it.
+	if got, floor := b.ChargeWh(), 400*(1-0.4); got < floor {
+		t.Errorf("charge %v below faded floor %v", got, floor)
+	}
+	if b.AtDoD() {
+		t.Error("full (faded) bank reports at DoD floor")
+	}
+}

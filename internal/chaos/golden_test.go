@@ -1,0 +1,120 @@
+package chaos_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"greenhetero/internal/chaos"
+	"greenhetero/internal/scenario"
+)
+
+var updateStormGolden = flag.Bool("update-storm-golden", false, "rewrite the storm64 stress report golden file")
+
+func loadStorm(t *testing.T, path string) chaos.StormConfig {
+	t.Helper()
+	sc, err := scenario.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storm, err := sc.BuildStorm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return storm
+}
+
+func runStormReport(t *testing.T, storm chaos.StormConfig, parallelism int) []byte {
+	t.Helper()
+	storm.Fleet.Parallelism = parallelism
+	_, rep, err := chaos.Run(storm)
+	if err != nil {
+		t.Fatalf("parallelism %d: %v", parallelism, err)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStormGoldenReport pins the storm64 stress report byte for byte:
+// the same seed must reproduce it exactly at parallelism 1, 4, and
+// per-CPU. Regenerate with -update-storm-golden after an intentional
+// engine or report change.
+func TestStormGoldenReport(t *testing.T) {
+	storm := loadStorm(t, filepath.Join("testdata", "storm64.json"))
+	got := runStormReport(t, storm, 1)
+
+	golden := filepath.Join("testdata", "storm64_report.json")
+	if *updateStormGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stress report drifted from golden file %s (run with -update-storm-golden if intentional)", golden)
+	}
+	for _, par := range []int{4, 0} {
+		if b := runStormReport(t, storm, par); !bytes.Equal(b, want) {
+			t.Errorf("parallelism %d report differs from golden", par)
+		}
+	}
+}
+
+// TestCommittedStormScenarios runs the repo's committed storm scenarios
+// end to end — the 1000-rack acceptance storm and the CI smoke storm.
+// The fleet must never abort an epoch, quarantined racks' shares must
+// be redistributed, and the report must be byte-identical across runs
+// and parallelism levels.
+func TestCommittedStormScenarios(t *testing.T) {
+	for _, tt := range []struct {
+		path  string
+		racks int
+	}{
+		{filepath.Join("..", "..", "scenarios", "storm-1000.json"), 1000},
+		{filepath.Join("..", "..", "scenarios", "storm-256.json"), 256},
+	} {
+		t.Run(filepath.Base(tt.path), func(t *testing.T) {
+			storm := loadStorm(t, tt.path)
+			if len(storm.Fleet.Racks) != tt.racks {
+				t.Fatalf("racks = %d, want %d", len(storm.Fleet.Racks), tt.racks)
+			}
+			storm.Fleet.Parallelism = 1
+			res, rep, err := chaos.Run(storm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Site) != storm.Fleet.Epochs {
+				t.Fatalf("site epochs = %d of %d: the fleet aborted an epoch", len(res.Site), storm.Fleet.Epochs)
+			}
+			if rep.RedistributedWh <= 0 {
+				t.Error("no allocation redistributed despite quarantines")
+			}
+			if rep.Quarantines == 0 || rep.DegradedEpochs == 0 {
+				t.Errorf("storm left no marks: quarantines=%d degraded=%d", rep.Quarantines, rep.DegradedEpochs)
+			}
+			if rep.DaemonCrashes != 1 || rep.DaemonRecoveries != 1 {
+				t.Errorf("daemon crashes=%d recoveries=%d, want 1/1", rep.DaemonCrashes, rep.DaemonRecoveries)
+			}
+			for _, r := range rep.PerRack {
+				total := r.ServedEpochs + r.FailedEpochs + r.QuarantinedEpochs + r.AbsentEpochs
+				if total != storm.Fleet.Epochs {
+					t.Fatalf("rack %s accounts for %d of %d epochs", r.Name, total, storm.Fleet.Epochs)
+				}
+			}
+			want := runStormReport(t, storm, 1)
+			for _, par := range []int{4, 0} {
+				if b := runStormReport(t, storm, par); !bytes.Equal(b, want) {
+					t.Errorf("parallelism %d report differs", par)
+				}
+			}
+		})
+	}
+}

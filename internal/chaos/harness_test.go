@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"greenhetero/internal/policy"
+	"greenhetero/internal/server"
+	"greenhetero/internal/sim"
+	"greenhetero/internal/solar"
+	"greenhetero/internal/workload"
+)
+
+func testSession(t *testing.T, epochs int) *sim.Session {
+	t.Helper()
+	spec, err := server.Lookup("e5-2620")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rack, err := server.NewRack("wal-rack", server.Group{Spec: spec, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Lookup("specjbb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := policy.ByName("GreenHetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := solar.Generate(solar.Config{
+		Profile: solar.High, PeakWatts: 2200, Days: 1,
+		Step: 15 * time.Minute, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSession(sim.Config{
+		Rack: rack, Workload: w, Policy: p, Solar: tr,
+		Epochs: epochs, GridBudgetW: 1000, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestHarnessCrashRecover drives the WAL harness by hand: commits are
+// durable, an armed crashpoint tears the commit of its epoch, further
+// commits fail until Recover, and Recover restores the last durable
+// state and fast-forwards to the fleet clock.
+func TestHarnessCrashRecover(t *testing.T) {
+	const epochs = 12
+	s := testSession(t, epochs)
+	h, err := NewHarness(0, 5, 3, map[int]int{4: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := func() {
+		t.Helper()
+		if _, err := s.StepAllocated(sim.Allocation{RenewableW: 1500, GridBudgetW: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 4; e++ {
+		step()
+		if err := h.Commit(e, s); err != nil {
+			t.Fatalf("commit epoch %d: %v", e, err)
+		}
+	}
+
+	// Epoch 4's commit hits the armed crashpoint.
+	step()
+	if err := h.Commit(4, s); err == nil {
+		t.Fatal("commit at the armed crashpoint succeeded")
+	}
+	if h.Crashes() != 1 {
+		t.Fatalf("crashes = %d", h.Crashes())
+	}
+	if err := h.Commit(5, s); err == nil || !strings.Contains(err.Error(), "down") {
+		t.Fatalf("commit on a crashed daemon: %v", err)
+	}
+
+	// Recovery restores the last durable state (epoch 3) and skips the
+	// session forward to the fleet clock.
+	if err := h.Recover(6, s); err != nil {
+		t.Fatal(err)
+	}
+	if h.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d", h.Recoveries())
+	}
+	if s.Epoch() != 6 {
+		t.Fatalf("session at epoch %d after recovery to 6", s.Epoch())
+	}
+	for e := 6; e < epochs; e++ {
+		step()
+		if err := h.Commit(e, s); err != nil {
+			t.Fatalf("commit epoch %d after recovery: %v", e, err)
+		}
+	}
+}
+
+func TestHarnessRejectsBadCadence(t *testing.T) {
+	if _, err := NewHarness(0, 1, 0, nil); err == nil {
+		t.Error("snapshot cadence 0 accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"encoding/json"
+
+	"greenhetero/internal/cluster"
+	"greenhetero/internal/metrics"
+)
+
+// EventReport summarizes one scheduled event in the stress report.
+type EventReport struct {
+	Kind     string `json:"kind"`
+	AtEpoch  int    `json:"atEpoch"`
+	Duration int    `json:"duration,omitempty"`
+}
+
+// QuarantineReport is one breaker episode: when the rack went down,
+// when it rejoined (-1 if the run ended first), and the recovery time.
+type QuarantineReport struct {
+	FromEpoch      int `json:"fromEpoch"`
+	RejoinEpoch    int `json:"rejoinEpoch"`
+	RecoveryEpochs int `json:"recoveryEpochs"`
+}
+
+// RackReport is one rack's line in the stress report.
+type RackReport struct {
+	Name              string             `json:"name"`
+	ServedEpochs      int                `json:"servedEpochs"`
+	FailedEpochs      int                `json:"failedEpochs,omitempty"`
+	QuarantinedEpochs int                `json:"quarantinedEpochs,omitempty"`
+	AbsentEpochs      int                `json:"absentEpochs,omitempty"`
+	PartitionedEpochs int                `json:"partitionedEpochs,omitempty"`
+	SLOViolations     int                `json:"sloViolations,omitempty"`
+	WALRecoveries     int                `json:"walRecoveries,omitempty"`
+	MeanEPU           float64            `json:"meanEPU"`
+	GridWh            float64            `json:"gridWh"`
+	Quarantines       []QuarantineReport `json:"quarantines,omitempty"`
+}
+
+// Report is a storm's reproducible stress report. Built entirely from
+// the seeded run, it is byte-identical for a fixed seed at any
+// parallelism level.
+type Report struct {
+	Scenario  string `json:"scenario"`
+	Seed      int64  `json:"seed"`
+	Racks     int    `json:"racks"`
+	Epochs    int    `json:"epochs"`
+	Allocator string `json:"allocator"`
+	// SLOSupplyFrac is the supply/demand floor below which a served
+	// epoch violates the SLO; unserved post-startup epochs always do.
+	SLOSupplyFrac float64       `json:"sloSupplyFrac"`
+	Events        []EventReport `json:"events"`
+
+	MeanEPU         float64 `json:"meanEPU"`
+	TotalPerf       float64 `json:"totalPerf"`
+	TotalGridWh     float64 `json:"totalGridWh"`
+	GridCostUnits   float64 `json:"gridCostUnits"`
+	RedistributedWh float64 `json:"redistributedWh"`
+	BatteryCycles   int     `json:"batteryCycles"`
+
+	SLOViolations int `json:"sloViolations"`
+	FailedEpochs  int `json:"failedEpochs"`
+	// DegradedEpochs counts site epochs that ran with at least one rack
+	// down or quarantined — degraded, never aborted.
+	DegradedEpochs   int `json:"degradedEpochs"`
+	Quarantines      int `json:"quarantines"`
+	DaemonCrashes    int `json:"daemonCrashes"`
+	DaemonRecoveries int `json:"daemonRecoveries"`
+	// MeanRecoveryEpochs averages completed quarantines' recovery times
+	// (0 when none completed).
+	MeanRecoveryEpochs float64 `json:"meanRecoveryEpochs"`
+
+	PerRack []RackReport `json:"perRack"`
+}
+
+// JSON renders the report with a stable field order and a trailing
+// newline — the byte-compare target for golden tests and CI artifacts.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// buildReport derives the stress report from a finished storm run.
+func buildReport(sc StormConfig, res *cluster.FleetResult, eng *Engine, h *Harness) *Report {
+	hours := sc.Fleet.Solar.Step.Hours()
+	rep := &Report{
+		Scenario:      sc.Name,
+		Seed:          sc.Chaos.Seed,
+		Racks:         len(sc.Fleet.Racks),
+		Epochs:        sc.Fleet.Epochs,
+		Allocator:     res.Allocator,
+		SLOSupplyFrac: sc.SLOSupplyFrac,
+		Events:        make([]EventReport, 0, len(sc.Chaos.Events)),
+		MeanEPU:       res.MeanEPU(),
+		TotalPerf:     res.TotalPerf(),
+		TotalGridWh:   res.TotalGridWh(),
+		BatteryCycles: res.BatteryCycles,
+		PerRack:       make([]RackReport, 0, len(res.Racks)),
+	}
+	for _, ev := range sc.Chaos.Events {
+		dur := ev.Duration
+		if ev.Kind == KindRackCrash {
+			dur = ev.RecoveryEpochs
+		}
+		rep.Events = append(rep.Events, EventReport{Kind: ev.Kind, AtEpoch: ev.At, Duration: dur})
+	}
+	for _, se := range res.Site {
+		rep.GridCostUnits += se.GridW * hours * eng.PriceScale(se.Epoch)
+		rep.RedistributedWh += se.RedistributedW * hours
+		if se.DownRacks > 0 {
+			rep.DegradedEpochs++
+		}
+	}
+	completedRecovery := 0
+	var recoverySum int
+	for i, rr := range res.Racks {
+		hlt := res.Health[i]
+		r := RackReport{
+			Name:              hlt.Name,
+			ServedEpochs:      hlt.ServedEpochs,
+			FailedEpochs:      hlt.FailedEpochs,
+			QuarantinedEpochs: hlt.QuarantinedEpochs,
+			AbsentEpochs:      hlt.AbsentEpochs,
+			PartitionedEpochs: hlt.PartitionedEpochs,
+			WALRecoveries:     hlt.Recoveries,
+			MeanEPU:           rr.Result.MeanEPU(),
+			GridWh:            rr.Result.GridEnergyWh(),
+		}
+		for _, er := range rr.Result.Epochs {
+			if metrics.SLOViolated(er.SupplyW, er.DemandW, sc.SLOSupplyFrac) {
+				r.SLOViolations++
+			}
+		}
+		// Post-startup epochs the rack did not serve are violations too:
+		// demand existed and nothing supplied it.
+		r.SLOViolations += hlt.FailedEpochs + hlt.QuarantinedEpochs
+		for _, q := range hlt.Quarantines {
+			r.Quarantines = append(r.Quarantines, QuarantineReport{
+				FromEpoch:      q.FromEpoch,
+				RejoinEpoch:    q.RejoinEpoch,
+				RecoveryEpochs: q.RecoveryEpochs,
+			})
+			if q.RejoinEpoch >= 0 {
+				completedRecovery++
+				recoverySum += q.RecoveryEpochs
+			}
+		}
+		rep.Quarantines += len(hlt.Quarantines)
+		rep.SLOViolations += r.SLOViolations
+		rep.FailedEpochs += hlt.FailedEpochs
+		rep.PerRack = append(rep.PerRack, r)
+	}
+	if completedRecovery > 0 {
+		rep.MeanRecoveryEpochs = float64(recoverySum) / float64(completedRecovery)
+	}
+	if h != nil {
+		rep.DaemonCrashes = h.Crashes()
+		rep.DaemonRecoveries = h.Recoveries()
+	}
+	return rep
+}

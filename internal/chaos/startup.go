@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"greenhetero/internal/runner"
+)
+
+// Startup patterns for fleet generation: when each rack joins the
+// fleet. Epochs before a rack's join are Absent — skipped with no
+// breaker or SLO bookkeeping.
+const (
+	StartupInstant     = "instant"     // everyone at epoch 0
+	StartupLinear      = "linear"      // evenly spread over the ramp
+	StartupExponential = "exponential" // doubling cohorts over the ramp
+	StartupWave        = "wave"        // discrete waves over the ramp
+)
+
+// JoinEpochs computes each of n racks' join epochs under the named
+// startup pattern, spread over rampEpochs, with seeded per-rack jitter
+// of up to jitterFrac of the ramp in either direction. waves is only
+// meaningful for StartupWave. The result is deterministic in the seed
+// and never negative.
+func JoinEpochs(n int, pattern string, rampEpochs, waves int, jitterFrac float64, seed int64) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chaos: %d racks", n)
+	}
+	if rampEpochs < 0 {
+		return nil, fmt.Errorf("chaos: ramp %d epochs", rampEpochs)
+	}
+	if math.IsNaN(jitterFrac) || jitterFrac < 0 || jitterFrac >= 1 {
+		return nil, fmt.Errorf("chaos: startup jitter %v outside [0,1)", jitterFrac)
+	}
+	joins := make([]int, n)
+	ramp := float64(rampEpochs)
+	switch pattern {
+	case StartupInstant:
+		// all zero
+	case StartupLinear:
+		for i := range joins {
+			joins[i] = int(math.Round(float64(i) * ramp / float64(n)))
+		}
+	case StartupExponential:
+		// Doubling cohorts: rack i is in cohort log2(i+1); the last
+		// cohort lands at the end of the ramp.
+		last := math.Log2(float64(n))
+		if last <= 0 {
+			last = 1
+		}
+		for i := range joins {
+			joins[i] = int(math.Round(math.Log2(float64(i+1)) / last * ramp))
+		}
+	case StartupWave:
+		if waves < 1 {
+			return nil, fmt.Errorf("chaos: %d waves", waves)
+		}
+		for i := range joins {
+			w := i * waves / n
+			joins[i] = int(math.Round(float64(w) * ramp / float64(waves)))
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown startup pattern %q", pattern)
+	}
+	if jitterFrac > 0 && rampEpochs > 0 {
+		rng := rand.New(rand.NewSource(runner.DeriveSeed(seed, "chaos/startup")))
+		for i := range joins {
+			j := joins[i] + int(math.Round((2*rng.Float64()-1)*jitterFrac*ramp))
+			if j < 0 {
+				j = 0
+			}
+			joins[i] = j
+		}
+	}
+	return joins, nil
+}

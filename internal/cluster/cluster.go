@@ -239,6 +239,16 @@ type Config struct {
 	// Parallelism bounds concurrent rack steps within an epoch: 0 = one
 	// worker per CPU, 1 = serial. Results are identical at every level.
 	Parallelism int
+	// Disturber, when non-nil, injects per-epoch disturbances (chaos):
+	// see the Disturbance effect vector. Nil leaves the run undisturbed
+	// and bit-identical to a pre-chaos fleet run.
+	Disturber Disturber
+	// Breaker tunes the per-rack circuit breaker that quarantines
+	// repeatedly failing racks (nil = defaults).
+	Breaker *BreakerConfig
+	// Checkpointer, when non-nil, persists one rack's state through the
+	// WAL layer after each served epoch and drives its crash recovery.
+	Checkpointer Checkpointer
 }
 
 // ErrBadConfig is returned for invalid fleet configurations.
@@ -268,6 +278,15 @@ type SiteEpoch struct {
 	//
 	// ghlint:units frac
 	BatterySoC float64
+	// DownRacks counts racks that failed or sat quarantined this epoch;
+	// QuarantinedRacks is the cooldown subset. Omitted when zero so
+	// healthy-run traces serialize unchanged.
+	DownRacks        int `json:",omitempty"`
+	QuarantinedRacks int `json:",omitempty"`
+	// RedistributedW is the supply share the epoch's missing racks would
+	// have commanded (priced by the allocator at their last-known bids),
+	// absorbed by the serving fleet instead.
+	RedistributedW float64 `json:",omitempty"`
 }
 
 // FleetResult aggregates a fleet run: per-rack records plus the
@@ -281,6 +300,9 @@ type FleetResult struct {
 	Site []SiteEpoch
 	// BatteryCycles counts the site bank's discharge-to-DoD cycles.
 	BatteryCycles int
+	// Health is each rack's degraded-mode history, index-aligned with
+	// Racks. In an undisturbed run every rack simply serves every epoch.
+	Health []RackHealth
 }
 
 // TotalPerf sums mean throughput across racks.
@@ -365,11 +387,26 @@ func (cfg Config) validate() (Config, error) {
 		}
 		seen[name] = i
 	}
+	if ck := cfg.Checkpointer; ck != nil {
+		if r := ck.Rack(); r < 0 || r >= len(cfg.Racks) {
+			return cfg, fmt.Errorf("%w: checkpointer rack %d of %d", ErrBadConfig, r, len(cfg.Racks))
+		}
+	}
 	return cfg, nil
 }
 
 // Run simulates the fleet: per-epoch site allocation over live rack
 // sessions, racks stepping in parallel between barriers.
+//
+// The fleet degrades instead of failing the epoch. A rack whose bid or
+// step errors — or that a Disturber marks down — is skipped for the
+// epoch and charged against its per-rack breaker; once the breaker
+// opens the rack is quarantined for a cooldown, then probed half-open.
+// A missing rack's PV/battery/grid share is redistributed by the live
+// allocator the moment it vanishes from the bid vector, and the share
+// it would have commanded is recorded in SiteEpoch.RedistributedW.
+// Setup failures (NewSession) still abort: those are configuration
+// errors, not runtime faults.
 func Run(cfg Config) (*FleetResult, error) {
 	cfg, err := cfg.validate()
 	if err != nil {
@@ -377,6 +414,11 @@ func Run(cfg Config) (*FleetResult, error) {
 	}
 	n := len(cfg.Racks)
 	d := cfg.Solar.Step
+	brk := BreakerConfig{}
+	if cfg.Breaker != nil {
+		brk = *cfg.Breaker
+	}
+	brk = brk.withDefaults()
 
 	site, err := battery.NewSiteBank(cfg.SiteBattery, n)
 	if err != nil {
@@ -390,6 +432,7 @@ func Run(cfg Config) (*FleetResult, error) {
 
 	sessions := make([]*sim.Session, n)
 	results := make([]*sim.Result, n)
+	ctl := make([]rackCtl, n)
 	for i, rc := range cfg.Racks {
 		s, err := sim.NewSession(sim.Config{
 			Rack:           rc.Rack,
@@ -406,89 +449,309 @@ func Run(cfg Config) (*FleetResult, error) {
 		}
 		sessions[i] = s
 		results[i] = s.NewResult()
+		ctl[i].downSince = -1
+		ctl[i].health.Name = rc.Rack.Name()
+	}
+
+	var dist *Disturbance
+	if cfg.Disturber != nil {
+		dist = NewDisturbance(n)
+	}
+	ck := cfg.Checkpointer
+	ckRack := -1
+	ckDirty := false // an uncommitted (crashed) epoch forces recovery
+	if ck != nil {
+		ckRack = ck.Rack()
 	}
 
 	out := &FleetResult{
 		Allocator: cfg.Allocator.Name(),
 		Site:      make([]SiteEpoch, 0, cfg.Epochs),
 	}
-	bids := make([]float64, n)
-	weights := make([]float64, n)
+	var (
+		mode        = make([]rackMode, n)
+		failErr     = make([]error, n)
+		bids        = make([]float64, n) // compact: one entry per bidding rack
+		idx         = make([]int, n)     // rack index per compact slot
+		weights     = make([]float64, n) // compact allocator output
+		weightsFull = make([]float64, n) // scattered to rack indexing
+		ghostBids   = make([]float64, n) // scratch: redistribution pricing
+		ghostW      = make([]float64, n)
+	)
+	capacityFrac := 1.0
 	for e := 0; e < cfg.Epochs; e++ {
-		// 1. Collect demand bids, serially in rack order.
-		var bidTotal float64
-		for i, s := range sessions {
-			b, err := s.DemandBidW()
-			if err != nil {
-				return nil, fmt.Errorf("cluster: rack %s: bid: %w", cfg.Racks[i].Rack.Name(), err)
+		// 0. Let the disturber write this epoch's effect vector, and
+		// apply any battery aging to the shared bank.
+		if dist != nil {
+			dist.Reset()
+			cfg.Disturber.Disturb(e, dist)
+			if f := dist.BatteryCapacityFrac; f < capacityFrac {
+				if err := site.Bank().Fade(f / capacityFrac); err != nil {
+					return nil, fmt.Errorf("cluster: battery fade: %w", err)
+				}
+				capacityFrac = f
 			}
-			bids[i] = b
-			bidTotal += b
 		}
 
-		// 2. Split the site supply.
+		// 1. Classify every rack for the epoch, serially in rack order.
+		// Partitioned racks hold their last grant, reserved off the top
+		// of the split below.
+		quarantined := 0
+		var heldPVW, heldGridW float64
+		for i := range sessions {
+			c := &ctl[i]
+			failErr[i] = nil
+			switch {
+			case dist != nil && dist.Absent[i]:
+				mode[i] = modeAbsent
+				c.health.AbsentEpochs++
+			case c.state == rackQuarantined && c.cool > 0:
+				mode[i] = modeCooling
+				c.cool--
+				c.health.QuarantinedEpochs++
+				quarantined++
+			case dist != nil && dist.Down[i]:
+				mode[i] = modeFail
+				failErr[i] = errRackDown
+			case dist != nil && dist.Partitioned[i]:
+				mode[i] = modeHeld
+				c.health.PartitionedEpochs++
+				heldPVW += c.heldPVW
+				heldGridW += c.heldGridW
+			default:
+				mode[i] = modeServe
+			}
+		}
+
+		// 1b. WAL recovery: after a crashed commit the checkpointed
+		// rack's in-memory session is notionally lost — before its next
+		// attempt it must restore from durable state.
+		if ck != nil && ckDirty && (mode[ckRack] == modeServe || mode[ckRack] == modeHeld) {
+			if err := ck.Recover(e, sessions[ckRack]); err != nil {
+				mode[ckRack] = modeFail
+				failErr[ckRack] = fmt.Errorf("recover: %w", err)
+			} else {
+				ckDirty = false
+				ctl[ckRack].health.Recoveries++
+			}
+		}
+
+		// 2. Collect demand bids from the serving racks, serially in
+		// rack order, into a compact vector — a missing rack's absence
+		// here is what redistributes its share.
+		var bidTotal float64
+		k := 0
+		for i, s := range sessions {
+			if mode[i] != modeServe {
+				continue
+			}
+			b, err := s.DemandBidW()
+			if err != nil {
+				mode[i] = modeFail
+				failErr[i] = fmt.Errorf("bid: %w", err)
+				continue
+			}
+			c := &ctl[i]
+			c.lastBidW = b
+			c.haveBid = true
+			idx[k] = i
+			bids[k] = b
+			bidTotal += b
+			k++
+		}
+
+		// 3. Split the site supply over the serving racks. Held grants
+		// come off the top; a price spike's demand response scales the
+		// grid budget.
+		pv := cfg.Solar.At(e)
+		gridBudgetW := cfg.SiteGridBudgetW
+		if dist != nil {
+			gridBudgetW *= dist.GridBudgetScaleFrac
+		}
+		splitPV := pv - heldPVW
+		if splitPV < 0 {
+			splitPV = 0
+		}
+		splitGrid := gridBudgetW - heldGridW
+		if splitGrid < 0 {
+			splitGrid = 0
+		}
 		supply := Supply{
-			RenewableW:        cfg.Solar.At(e),
+			RenewableW:        splitPV,
 			BatteryDischargeW: site.Bank().AvailableDischargeW(d),
 			BatteryChargeW:    site.Bank().AcceptableChargeW(d),
-			GridBudgetW:       cfg.SiteGridBudgetW,
+			GridBudgetW:       splitGrid,
 		}
-		if err := cfg.Allocator.Weights(bids, supply, weights); err != nil {
-			return nil, fmt.Errorf("cluster: allocator %s: %w", cfg.Allocator.Name(), err)
+		for i := range weightsFull {
+			weightsFull[i] = 0
 		}
-		var wsum float64
-		for i, w := range weights {
-			if w < 0 || math.IsNaN(w) {
-				return nil, fmt.Errorf("cluster: allocator %s: weight[%d] = %v", cfg.Allocator.Name(), i, w)
+		if k > 0 {
+			if err := cfg.Allocator.Weights(bids[:k], supply, weights[:k]); err != nil {
+				return nil, fmt.Errorf("cluster: allocator %s: %w", cfg.Allocator.Name(), err)
 			}
-			wsum += w
+			var wsum float64
+			for j, w := range weights[:k] {
+				if w < 0 || math.IsNaN(w) {
+					return nil, fmt.Errorf("cluster: allocator %s: weight[%d] = %v", cfg.Allocator.Name(), idx[j], w)
+				}
+				wsum += w
+			}
+			if wsum > 1+1e-9 {
+				return nil, fmt.Errorf("cluster: allocator %s: weights sum to %v > 1", cfg.Allocator.Name(), wsum)
+			}
+			for j := 0; j < k; j++ {
+				weightsFull[idx[j]] = weights[j]
+			}
 		}
-		if wsum > 1+1e-9 {
-			return nil, fmt.Errorf("cluster: allocator %s: weights sum to %v > 1", cfg.Allocator.Name(), wsum)
-		}
-		if err := site.Carve(weights, d); err != nil {
+		if err := site.Carve(weightsFull, d); err != nil {
 			return nil, fmt.Errorf("cluster: carve: %w", err)
 		}
 
-		// 3. Step every rack in parallel under its allocation (the
-		// per-epoch barrier).
-		epochs, err := runner.Map(cfg.Parallelism, n, func(i int) (sim.EpochResult, error) {
-			er, err := sessions[i].StepAllocated(sim.Allocation{
-				RenewableW:  weights[i] * supply.RenewableW,
-				GridBudgetW: weights[i] * supply.GridBudgetW,
-			})
-			if err != nil {
-				return sim.EpochResult{}, fmt.Errorf("rack %s: %w", cfg.Racks[i].Rack.Name(), err)
+		// 3b. Redistribution accounting: price what the missing racks
+		// would have commanded by re-running the allocator over the
+		// serving bids plus the missing racks' last-known bids. Pure
+		// reporting — the real split above never sees these ghosts.
+		var redistributedW float64
+		g := k
+		for i := range mode {
+			if (mode[i] == modeFail || mode[i] == modeCooling) && ctl[i].haveBid {
+				ghostBids[g] = ctl[i].lastBidW
+				g++
 			}
-			return er, nil
+		}
+		if g > k {
+			copy(ghostBids[:k], bids[:k])
+			if err := cfg.Allocator.Weights(ghostBids[:g], supply, ghostW[:g]); err == nil {
+				pot := supply.PotentialW()
+				for j := k; j < g; j++ {
+					redistributedW += ghostW[j] * pot
+				}
+			}
+		}
+
+		// 4. Apply flash-crowd demand scaling, serially, pre-barrier.
+		if dist != nil {
+			for i, s := range sessions {
+				if mode[i] != modeServe && mode[i] != modeHeld {
+					continue
+				}
+				if err := s.SetIntensityScale(dist.IntensityScale[i]); err != nil {
+					return nil, fmt.Errorf("cluster: rack %s: %w", cfg.Racks[i].Rack.Name(), err)
+				}
+			}
+		}
+
+		// 5. Step the live racks in parallel (the per-epoch barrier).
+		// Worker i reads only its own rack's state and never returns an
+		// error: a failed step is an outcome, not an abort.
+		outs, err := runner.Map(cfg.Parallelism, n, func(i int) (stepOutcome, error) {
+			var a sim.Allocation
+			switch mode[i] {
+			case modeServe:
+				a = sim.Allocation{
+					RenewableW:  weightsFull[i] * supply.RenewableW,
+					GridBudgetW: weightsFull[i] * supply.GridBudgetW,
+				}
+			case modeHeld:
+				a = sim.Allocation{RenewableW: ctl[i].heldPVW, GridBudgetW: ctl[i].heldGridW}
+			default:
+				return stepOutcome{}, nil
+			}
+			if dist != nil {
+				// Weather-front derate lands after the split: the
+				// allocator priced clear-sky supply, so the front hits as
+				// forecast error.
+				a.RenewableW *= dist.PVScaleFrac[i]
+			}
+			er, err := sessions[i].StepAllocated(a)
+			if err != nil {
+				return stepOutcome{err: err}, nil
+			}
+			return stepOutcome{er: er, served: true}, nil
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: epoch %d: %w", e, err)
 		}
 
-		// 4. Settle the shared bank in rack-index order and record the
+		// 6. Post-barrier bookkeeping, serially in rack order: breaker
+		// transitions, WAL commit for the checkpointed rack, epoch
+		// records. Every session is then aligned to the site clock —
+		// skipped racks advance without consuming their noise stream.
+		se := SiteEpoch{
+			Epoch:            e,
+			RenewableW:       supply.RenewableW,
+			BidW:             bidTotal,
+			QuarantinedRacks: quarantined,
+			RedistributedW:   redistributedW,
+		}
+		for i := range outs {
+			c := &ctl[i]
+			switch {
+			case mode[i] == modeAbsent:
+				// pre-startup: no bookkeeping
+			case mode[i] == modeCooling:
+				se.DownRacks++
+			case failErr[i] != nil || outs[i].err != nil:
+				c.fail(e, brk)
+				c.health.FailedEpochs++
+				se.DownRacks++
+			case outs[i].served:
+				committed := true
+				if ck != nil && i == ckRack {
+					if cerr := ck.Commit(e, sessions[i]); cerr != nil {
+						ckDirty = true
+						committed = false
+					}
+				}
+				// The physical epoch happened either way; record it.
+				results[i].Epochs = append(results[i].Epochs, outs[i].er)
+				se.SupplyW += outs[i].er.SupplyW
+				se.GridW += outs[i].er.GridW
+				c.health.ServedEpochs++
+				if mode[i] == modeServe {
+					c.heldPVW = weightsFull[i] * supply.RenewableW
+					c.heldGridW = weightsFull[i] * supply.GridBudgetW
+				}
+				if committed {
+					if q, ended := c.recover(e); ended {
+						c.health.Quarantines = append(c.health.Quarantines, q)
+					}
+				} else {
+					// Served, but the daemon crashed before the epoch was
+					// durable: a breaker failure, and the rack recovers
+					// from the WAL before its next attempt.
+					c.fail(e, brk)
+				}
+			}
+			for sessions[i].Epoch() <= e {
+				sessions[i].SkipEpoch()
+			}
+		}
+
+		// 7. Settle the shared bank in rack-index order and record the
 		// site trace.
 		settle := site.Settle(d)
-		se := SiteEpoch{
-			Epoch:       e,
-			RenewableW:  supply.RenewableW,
-			BidW:        bidTotal,
-			BatteryOutW: settle.DischargeW,
-			BatteryInW:  settle.ChargeRenewableW + settle.ChargeGridW,
-			BatterySoC:  site.Bank().SoC(),
-		}
-		for i, er := range epochs {
-			se.SupplyW += er.SupplyW
-			se.GridW += er.GridW
-			results[i].Epochs = append(results[i].Epochs, er)
-		}
+		se.BatteryOutW = settle.DischargeW
+		se.BatteryInW = settle.ChargeRenewableW + settle.ChargeGridW
+		se.BatterySoC = site.Bank().SoC()
 		out.Site = append(out.Site, se)
 	}
 
 	out.BatteryCycles = site.Bank().Cycles()
 	out.Racks = make([]RackResult, n)
+	out.Health = make([]RackHealth, n)
 	for i, rc := range cfg.Racks {
 		out.Racks[i] = RackResult{Name: rc.Rack.Name(), Result: results[i]}
+		c := &ctl[i]
+		if c.state == rackQuarantined {
+			// Still down when the run ended: leave the episode open.
+			c.health.Quarantines = append(c.health.Quarantines,
+				Quarantine{FromEpoch: c.downSince, RejoinEpoch: -1, RecoveryEpochs: -1})
+		}
+		out.Health[i] = c.health
 	}
 	return out, nil
 }
+
+// errRackDown marks a disturbance-injected crash window.
+var errRackDown = errors.New("cluster: rack down (disturbance)")

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"greenhetero/internal/sim"
+)
+
+// scriptedDisturber adapts a function to the Disturber interface.
+type scriptedDisturber func(epoch int, d *Disturbance)
+
+func (f scriptedDisturber) Disturb(epoch int, d *Disturbance) { f(epoch, d) }
+
+// TestNoOpDisturberUnchanged pins degraded mode's zero-cost contract:
+// a disturber that never disturbs anything must leave the run
+// bit-identical to a plain fleet run.
+func TestNoOpDisturberUnchanged(t *testing.T) {
+	plain, err := Run(twoRackConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := twoRackConfig(t)
+	cfg.Disturber = scriptedDisturber(func(int, *Disturbance) {})
+	disturbed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetEqual(t, "no-op disturber", plain, disturbed)
+	for _, h := range disturbed.Health {
+		if h.FailedEpochs != 0 || h.QuarantinedEpochs != 0 || len(h.Quarantines) != 0 {
+			t.Errorf("rack %s health dirtied by a no-op disturber: %+v", h.Name, h)
+		}
+	}
+}
+
+// TestBreakerQuarantineAndRejoin walks one rack through the full
+// breaker cycle: two down epochs open it, the cooldown skips two more,
+// and the half-open probe rejoins it with the recovery time recorded.
+func TestBreakerQuarantineAndRejoin(t *testing.T) {
+	cfg := twoRackConfig(t)
+	cfg.Disturber = scriptedDisturber(func(e int, d *Disturbance) {
+		if e == 2 || e == 3 {
+			d.Down[1] = true
+		}
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Site) != cfg.Epochs {
+		t.Fatalf("site epochs %d of %d: an epoch aborted", len(res.Site), cfg.Epochs)
+	}
+	h := res.Health[1]
+	if h.FailedEpochs != 2 || h.QuarantinedEpochs != 2 {
+		t.Errorf("failed=%d quarantined=%d, want 2/2", h.FailedEpochs, h.QuarantinedEpochs)
+	}
+	if h.ServedEpochs != cfg.Epochs-4 {
+		t.Errorf("served=%d, want %d", h.ServedEpochs, cfg.Epochs-4)
+	}
+	if len(h.Quarantines) != 1 {
+		t.Fatalf("quarantines = %+v", h.Quarantines)
+	}
+	q := h.Quarantines[0]
+	if q.FromEpoch != 2 || q.RejoinEpoch != 6 || q.RecoveryEpochs != 4 {
+		t.Errorf("quarantine = %+v, want {2 6 4}", q)
+	}
+	// The healthy rack is untouched, and the site flags the degradation.
+	if h0 := res.Health[0]; h0.ServedEpochs != cfg.Epochs || h0.FailedEpochs != 0 {
+		t.Errorf("healthy rack health: %+v", h0)
+	}
+	for e, se := range res.Site {
+		wantDown := e >= 2 && e <= 5 // 2 failed + 2 cooling epochs
+		if (se.DownRacks > 0) != wantDown {
+			t.Errorf("epoch %d DownRacks=%d, want down=%v", e, se.DownRacks, wantDown)
+		}
+	}
+	// The missing rack's share was redistributed (priced by its last bid).
+	if res.Site[3].RedistributedW <= 0 {
+		t.Error("no redistribution recorded while rack 1 was down")
+	}
+	if res.Site[0].RedistributedW != 0 {
+		t.Errorf("redistribution %v before any failure", res.Site[0].RedistributedW)
+	}
+}
+
+// TestBreakerDisabled: a negative threshold records failures but never
+// quarantines, so the rack rejoins the moment the outage clears.
+func TestBreakerDisabled(t *testing.T) {
+	cfg := twoRackConfig(t)
+	cfg.Breaker = &BreakerConfig{FailureThreshold: -1}
+	cfg.Disturber = scriptedDisturber(func(e int, d *Disturbance) {
+		if e >= 2 && e < 5 {
+			d.Down[1] = true
+		}
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Health[1]
+	if h.FailedEpochs != 3 || h.QuarantinedEpochs != 0 || len(h.Quarantines) != 0 {
+		t.Errorf("health = %+v, want 3 failures and no quarantine", h)
+	}
+	if h.ServedEpochs != cfg.Epochs-3 {
+		t.Errorf("served=%d, want %d", h.ServedEpochs, cfg.Epochs-3)
+	}
+}
+
+// TestOpenQuarantineAtRunEnd: a rack still quarantined when the run
+// ends gets an open episode with RejoinEpoch -1.
+func TestOpenQuarantineAtRunEnd(t *testing.T) {
+	cfg := twoRackConfig(t)
+	cfg.Disturber = scriptedDisturber(func(e int, d *Disturbance) {
+		if e >= cfg.Epochs-3 {
+			d.Down[1] = true
+		}
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Health[1]
+	if len(h.Quarantines) != 1 {
+		t.Fatalf("quarantines = %+v", h.Quarantines)
+	}
+	q := h.Quarantines[0]
+	if q.FromEpoch != cfg.Epochs-3 || q.RejoinEpoch != -1 || q.RecoveryEpochs != -1 {
+		t.Errorf("open quarantine = %+v", q)
+	}
+}
+
+// TestPartitionHeldAllocation: a partitioned rack keeps serving under
+// its last granted allocation — no failures, no quarantine, and its
+// held share comes off the top of the split.
+func TestPartitionHeldAllocation(t *testing.T) {
+	cfg := twoRackConfig(t)
+	cfg.Disturber = scriptedDisturber(func(e int, d *Disturbance) {
+		if e >= 3 && e < 6 {
+			d.Partitioned[1] = true
+		}
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Health[1]
+	if h.ServedEpochs != cfg.Epochs || h.PartitionedEpochs != 3 {
+		t.Errorf("served=%d partitioned=%d, want %d/3", h.ServedEpochs, h.PartitionedEpochs, cfg.Epochs)
+	}
+	if h.FailedEpochs != 0 || len(h.Quarantines) != 0 {
+		t.Errorf("partition charged the breaker: %+v", h)
+	}
+	if got := len(res.Racks[1].Result.Epochs); got != cfg.Epochs {
+		t.Errorf("rack 1 recorded %d epochs, want %d", got, cfg.Epochs)
+	}
+}
+
+// TestAbsentStartup: pre-startup epochs are skipped silently with no
+// breaker or SLO bookkeeping, and the session stays on the site clock.
+func TestAbsentStartup(t *testing.T) {
+	cfg := twoRackConfig(t)
+	cfg.Disturber = scriptedDisturber(func(e int, d *Disturbance) {
+		if e < 4 {
+			d.Absent[1] = true
+		}
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Health[1]
+	if h.AbsentEpochs != 4 || h.ServedEpochs != cfg.Epochs-4 || h.FailedEpochs != 0 {
+		t.Errorf("health = %+v", h)
+	}
+	eps := res.Racks[1].Result.Epochs
+	if len(eps) != cfg.Epochs-4 || eps[0].Epoch != 4 {
+		t.Fatalf("rack 1 first served epoch %d (%d recorded)", eps[0].Epoch, len(eps))
+	}
+}
+
+// TestDegradedDeterminism: a stormy run is bit-identical across
+// parallelism levels — all mutation stays serial.
+func TestDegradedDeterminism(t *testing.T) {
+	storm := func(e int, d *Disturbance) {
+		switch {
+		case e == 2 || e == 3:
+			d.Down[0] = true
+		case e >= 5 && e < 8:
+			d.Partitioned[1] = true
+		case e == 9:
+			d.PVScaleFrac[0] = 0.3
+			d.IntensityScale[1] = 1.5
+		case e == 11:
+			d.GridBudgetScaleFrac = 0.5
+			d.BatteryCapacityFrac = 0.9
+		}
+	}
+	run := func(par int) *FleetResult {
+		cfg := twoRackConfig(t)
+		cfg.Parallelism = par
+		cfg.Disturber = scriptedDisturber(storm)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, par := range []int{4, 0} {
+		fleetEqual(t, "degraded parallelism", serial, run(par))
+	}
+}
+
+// fakeCk is a scripted Checkpointer: Commit fails at one epoch, then
+// Recover fast-forwards the session like the WAL harness does.
+type fakeCk struct {
+	rack     int
+	failAt   int
+	commits  int
+	recovers int
+}
+
+func (f *fakeCk) Rack() int { return f.rack }
+
+func (f *fakeCk) Commit(e int, s *sim.Session) error {
+	if e == f.failAt {
+		return errors.New("torn write")
+	}
+	f.commits++
+	return nil
+}
+
+func (f *fakeCk) Recover(e int, s *sim.Session) error {
+	for s.Epoch() < e {
+		s.SkipEpoch()
+	}
+	f.recovers++
+	return nil
+}
+
+// TestCheckpointerCrashRecovery: a failed commit marks the rack dirty
+// and charges its breaker; the next epoch recovers from durable state
+// before the rack serves again.
+func TestCheckpointerCrashRecovery(t *testing.T) {
+	cfg := twoRackConfig(t)
+	ck := &fakeCk{rack: 0, failAt: 3}
+	cfg.Checkpointer = ck
+	cfg.Disturber = scriptedDisturber(func(int, *Disturbance) {})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.recovers != 1 {
+		t.Errorf("recovers = %d, want 1", ck.recovers)
+	}
+	if ck.commits != cfg.Epochs-1 {
+		t.Errorf("commits = %d, want %d", ck.commits, cfg.Epochs-1)
+	}
+	h := res.Health[0]
+	// The crash epoch still served (the physics happened), and the
+	// recovery is recorded; one commit failure is below the threshold,
+	// so no quarantine.
+	if h.ServedEpochs != cfg.Epochs || h.Recoveries != 1 {
+		t.Errorf("served=%d recoveries=%d, want %d/1", h.ServedEpochs, h.Recoveries, cfg.Epochs)
+	}
+	if len(h.Quarantines) != 0 {
+		t.Errorf("single commit failure quarantined the rack: %+v", h.Quarantines)
+	}
+}
+
+// TestCheckpointerValidation rejects a checkpointer naming a rack
+// outside the fleet.
+func TestCheckpointerValidation(t *testing.T) {
+	cfg := twoRackConfig(t)
+	cfg.Checkpointer = &fakeCk{rack: 9}
+	if _, err := Run(cfg); err == nil {
+		t.Error("out-of-range checkpointer rack accepted")
+	}
+}

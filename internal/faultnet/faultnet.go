@@ -142,6 +142,11 @@ type Proxy struct {
 	ln      net.Listener
 	sched   *Schedule
 	delay   time.Duration
+	// part, when non-nil, symmetrically severs this proxy whenever the
+	// partition is active and covers peer: the request never reaches
+	// the backend and no response returns.
+	part *Partition
+	peer string
 
 	mu sync.Mutex
 	// ghlint:guardedby mu
@@ -163,6 +168,19 @@ func WithDelay(d time.Duration) Option {
 		if d > 0 {
 			p.delay = d
 		}
+	}
+}
+
+// WithPartition attaches a symmetric partition: while part is active
+// and covers peer, every exchange through this proxy is dropped in both
+// directions — the request is swallowed before the backend sees it, and
+// the client, hearing nothing, times out exactly as with Drop. Healing
+// the partition (Deactivate) restores normal forwarding on the next
+// connection.
+func WithPartition(part *Partition, peer string) Option {
+	return func(p *Proxy) {
+		p.part = part
+		p.peer = peer
 	}
 }
 
@@ -285,6 +303,15 @@ func (p *Proxy) serve(client net.Conn) {
 	for {
 		line, err := cr.ReadBytes('\n')
 		if err != nil {
+			return
+		}
+		if p.part != nil && p.part.Severed(p.peer) {
+			// Symmetric partition: the request never reaches the
+			// backend (unlike Drop, which loses only the response).
+			// The client's read times out and it tears the connection
+			// down itself; wait for that here.
+			p.part.drops.Add(1)
+			_, _ = cr.ReadBytes('\n')
 			return
 		}
 		if _, err := backend.Write(line); err != nil {

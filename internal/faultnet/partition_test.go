@@ -1,0 +1,107 @@
+package faultnet
+
+import (
+	"net"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestPartitionSevered(t *testing.T) {
+	p := NewPartition("agent-a", "agent-b")
+	if p.Active() {
+		t.Fatal("new partition active")
+	}
+	if p.Severed("agent-a") {
+		t.Error("inactive partition severs")
+	}
+	p.Activate()
+	if !p.Severed("agent-a") || !p.Severed("agent-b") {
+		t.Error("active partition does not sever covered peers")
+	}
+	if p.Severed("agent-c") {
+		t.Error("active partition severs an uncovered peer")
+	}
+	p.Deactivate()
+	if p.Severed("agent-a") {
+		t.Error("healed partition still severs")
+	}
+	peers := p.Peers()
+	sort.Strings(peers)
+	if len(peers) != 2 || peers[0] != "agent-a" || peers[1] != "agent-b" {
+		t.Errorf("peers = %v", peers)
+	}
+}
+
+// TestProxyPartition drives a symmetric partition through the TCP
+// proxy: while active, requests are swallowed before the backend sees
+// them and the client times out; healing restores forwarding.
+func TestProxyPartition(t *testing.T) {
+	backend := echoServer(t)
+	part := NewPartition("agent-a")
+	proxy, err := New(backend, NewFixedSchedule(), WithPartition(part, "agent-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	dial := func() net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", proxy.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = conn.Close() })
+		return conn
+	}
+
+	// Healthy first: the exchange passes and reaches the backend.
+	conn := dial()
+	if resp, err := exchange(t, conn, time.Second); err != nil || resp != "ack 1" {
+		t.Fatalf("pre-partition exchange: %q, %v", resp, err)
+	}
+
+	// Partition: the request is swallowed before the backend sees it
+	// and the client's read times out.
+	part.Activate()
+	if _, err := exchange(t, conn, 300*time.Millisecond); err == nil {
+		t.Fatal("exchange through an active partition succeeded")
+	}
+	_ = conn.Close()
+	if got := part.Drops(); got != 1 {
+		t.Errorf("partition drops = %d, want 1", got)
+	}
+
+	// Heal: a fresh connection forwards normally again (per-connection
+	// backend counters restart at 1), and the exchange count proves the
+	// severed request was swallowed, never forwarded late.
+	part.Deactivate()
+	conn2 := dial()
+	if resp, err := exchange(t, conn2, time.Second); err != nil || resp != "ack 1" {
+		t.Fatalf("post-heal exchange: %q, %v", resp, err)
+	}
+	if got := proxy.Exchanges(); got != 2 {
+		t.Errorf("proxy exchanges = %d, want 2 (severed exchange never counted)", got)
+	}
+}
+
+// TestProxyPartitionUncoveredPeer: a partition that does not cover this
+// proxy's peer never interferes.
+func TestProxyPartitionUncoveredPeer(t *testing.T) {
+	backend := echoServer(t)
+	part := NewPartition("agent-b")
+	part.Activate()
+	proxy, err := New(backend, NewFixedSchedule(), WithPartition(part, "agent-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	conn, err := net.Dial("tcp", proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if resp, err := exchange(t, conn, time.Second); err != nil || resp != "ack 1" {
+		t.Fatalf("uncovered peer blocked: %q, %v", resp, err)
+	}
+}

@@ -39,6 +39,11 @@ var deterministicCore = map[string]bool{
 	// CrashFS's torn-write/survival choices are DeriveSeed-keyed — the
 	// package has no business reading clocks or global randomness.
 	"wal": true,
+	// chaos: a storm's stress report must be byte-identical for a fixed
+	// seed at any parallelism; every random choice (cascade victims,
+	// jitter, crashpoints) flows from DeriveSeed-keyed streams spent at
+	// engine build time.
+	"chaos": true,
 }
 
 // wallClockAllowed lists the packages that legitimately face the wall

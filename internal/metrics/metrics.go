@@ -149,3 +149,26 @@ func SpeedupOver(a, b []float64) ([]float64, error) {
 	}
 	return out, nil
 }
+
+// SLOViolated reports whether a served epoch missed its supply SLO:
+// delivered supply below minFrac of the epoch's true demand. Epochs
+// with no demand cannot violate. The chaos stress reports count one
+// violation per rack·epoch that fails this test (or that the rack did
+// not serve at all).
+//
+// ghlint:units minFrac=frac
+func SLOViolated(suppliedW, demandW, minFrac float64) bool {
+	return demandW > 0 && suppliedW < minFrac*demandW
+}
+
+// Availability is the served fraction of eligible rack·epochs — the
+// fleet uptime number a stress report leads with. Zero eligible epochs
+// count as fully available.
+//
+// ghlint:units result=frac
+func Availability(served, eligible int) float64 {
+	if eligible <= 0 {
+		return 1
+	}
+	return float64(served) / float64(eligible)
+}

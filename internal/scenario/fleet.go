@@ -56,7 +56,16 @@ type FleetSpec struct {
 	SiteGridBudgetW float64         `json:"siteGridBudgetW,omitempty"`
 }
 
-func (f *FleetSpec) validate() error {
+// validate checks the fleet block. With a stress fleet generator
+// (generated), the explicit rack list must be absent — the generator
+// supplies the racks instead.
+func (f *FleetSpec) validate(generated bool) error {
+	if generated {
+		if len(f.Racks) != 0 {
+			return fmt.Errorf("%w: fleet.racks and stress.fleetGen are mutually exclusive", ErrBadScenario)
+		}
+		return nil
+	}
 	if len(f.Racks) == 0 {
 		return fmt.Errorf("%w: fleet has no racks", ErrBadScenario)
 	}
@@ -76,37 +85,13 @@ func (f *FleetSpec) validate() error {
 }
 
 // BuildFleet resolves a fleet scenario into a cluster configuration.
+// Stress scenarios with a fleet generator build through BuildStorm
+// instead.
 func (sc *Scenario) BuildFleet() (cluster.Config, error) {
 	if sc.Fleet == nil {
 		return cluster.Config{}, fmt.Errorf("%w: not a fleet scenario; use Build", ErrBadScenario)
 	}
 	f := sc.Fleet
-
-	var alloc cluster.Allocator
-	if f.Allocator != "" {
-		a, err := cluster.AllocatorByName(f.Allocator)
-		if err != nil {
-			return cluster.Config{}, fmt.Errorf("scenario: %w", err)
-		}
-		alloc = a
-	}
-
-	var siteBattery battery.Config
-	if b := f.SiteBattery; b != nil {
-		siteBattery = battery.Config{
-			CapacityWh:       b.CapacityWh,
-			DepthOfDischarge: b.DepthOfDischarge,
-			Efficiency:       b.Efficiency,
-			MaxChargeW:       b.MaxChargeW,
-			MaxDischargeW:    b.MaxDischargeW,
-		}
-		if siteBattery.DepthOfDischarge == 0 {
-			siteBattery.DepthOfDischarge = 0.40
-		}
-		if siteBattery.Efficiency == 0 {
-			siteBattery.Efficiency = 0.80
-		}
-	}
 
 	var racks []cluster.RackConfig
 	for _, tmpl := range f.Racks {
@@ -132,6 +117,39 @@ func (sc *Scenario) BuildFleet() (cluster.Config, error) {
 				GroupWorkloads: groupWs,
 				Policy:         p,
 			})
+		}
+	}
+	return sc.siteConfig(racks)
+}
+
+// siteConfig assembles the cluster configuration around an already
+// expanded rack list (explicit fleet racks or a stress generator's).
+func (sc *Scenario) siteConfig(racks []cluster.RackConfig) (cluster.Config, error) {
+	f := sc.Fleet
+
+	var alloc cluster.Allocator
+	if f.Allocator != "" {
+		a, err := cluster.AllocatorByName(f.Allocator)
+		if err != nil {
+			return cluster.Config{}, fmt.Errorf("scenario: %w", err)
+		}
+		alloc = a
+	}
+
+	var siteBattery battery.Config
+	if b := f.SiteBattery; b != nil {
+		siteBattery = battery.Config{
+			CapacityWh:       b.CapacityWh,
+			DepthOfDischarge: b.DepthOfDischarge,
+			Efficiency:       b.Efficiency,
+			MaxChargeW:       b.MaxChargeW,
+			MaxDischargeW:    b.MaxDischargeW,
+		}
+		if siteBattery.DepthOfDischarge == 0 {
+			siteBattery.DepthOfDischarge = 0.40
+		}
+		if siteBattery.Efficiency == 0 {
+			siteBattery.Efficiency = 0.80
 		}
 	}
 

@@ -66,6 +66,9 @@ type Scenario struct {
 	Seed        int64       `json:"seed,omitempty"`
 	// Fleet describes a multi-rack site run (see fleet.go).
 	Fleet *FleetSpec `json:"fleet,omitempty"`
+	// Stress turns a fleet scenario into a seeded failure storm (see
+	// stress.go): generated heterogeneous fleets plus a chaos schedule.
+	Stress *StressSpec `json:"stress,omitempty"`
 }
 
 // ErrBadScenario is returned for structurally invalid scenarios.
@@ -106,11 +109,21 @@ func (sc *Scenario) validate() error {
 	case sc.Solar != nil && sc.TraceFile != "":
 		return fmt.Errorf("%w: solar and traceFile are mutually exclusive", ErrBadScenario)
 	}
+	if sc.Stress != nil && sc.Fleet == nil {
+		return fmt.Errorf("%w: stress requires a fleet block", ErrBadScenario)
+	}
 	if sc.Fleet != nil {
 		if len(sc.Groups) != 0 || sc.Policy != "" || sc.GridBudgetW != 0 {
 			return fmt.Errorf("%w: fleet and single-rack fields (groups/policy/gridBudgetW) are mutually exclusive", ErrBadScenario)
 		}
-		return sc.Fleet.validate()
+		generated := sc.Stress != nil && sc.Stress.FleetGen != nil
+		if err := sc.Fleet.validate(generated); err != nil {
+			return err
+		}
+		if sc.Stress != nil {
+			return sc.Stress.validate(sc)
+		}
+		return nil
 	}
 	switch {
 	case len(sc.Groups) == 0:

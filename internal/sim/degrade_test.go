@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestSkipEpoch: skipping advances the epoch clock without touching the
+// RNG stream — a skipped rack stays aligned to the site clock without
+// consuming its noise draws.
+func TestSkipEpoch(t *testing.T) {
+	s, err := NewSession(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SkipEpoch()
+	s.SkipEpoch()
+	after, err := s.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 3 {
+		t.Errorf("epoch = %d after 1 step + 2 skips", s.Epoch())
+	}
+	if after.RNGDraws != before.RNGDraws {
+		t.Errorf("skip consumed RNG draws: %d → %d", before.RNGDraws, after.RNGDraws)
+	}
+	// The session still steps normally after skipping.
+	er, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Epoch != 3 {
+		t.Errorf("post-skip step ran epoch %d, want 3", er.Epoch)
+	}
+}
+
+func TestSetIntensityScale(t *testing.T) {
+	s, err := NewSession(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := s.SetIntensityScale(bad); err == nil {
+			t.Errorf("scale %v accepted", bad)
+		}
+	}
+
+	// A surge raises demand for the epoch it covers; scale 1 is exactly
+	// the unscaled run.
+	base, err := NewSession(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.SetIntensityScale(1); err != nil {
+		t.Fatal(err)
+	}
+	erBase, err := base.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	surged, err := NewSession(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := surged.SetIntensityScale(1.5); err != nil {
+		t.Fatal(err)
+	}
+	erSurged, err := surged.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erSurged.DemandW <= erBase.DemandW {
+		t.Errorf("surged demand %v not above baseline %v", erSurged.DemandW, erBase.DemandW)
+	}
+
+	plain, err := NewSession(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	erPlain, err := plain.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalResults(t, []EpochResult{erPlain}), marshalResults(t, []EpochResult{erBase})) {
+		t.Error("scale 1 is not bit-identical to an unscaled run")
+	}
+}

@@ -93,8 +93,8 @@ type Config struct {
 	// session drives instead of building its own bank — the fleet
 	// coordinator hands each rack a per-epoch lease of the shared site
 	// bank. Battery and InitialSoC are then ignored, Session.Bank()
-	// returns nil, and the session cannot export state (the store's
-	// state lives with its owner).
+	// returns nil, and exported state carries no battery section (the
+	// store's state lives with its owner).
 	Bank battery.Store
 	// Intensity is the demand pattern; nil means DiurnalIntensity.
 	Intensity IntensityFunc
@@ -379,6 +379,9 @@ type Session struct {
 
 	epoch      int
 	prevDemand float64
+	// intensityScale multiplies the configured intensity pattern (flash
+	// crowds under chaos); 1 leaves the pattern bit-untouched.
+	intensityScale float64
 
 	// fbMap and fbBufs are Step's reusable feedback staging: the
 	// database copies samples out inside FeedbackMixed, so the map and
@@ -409,12 +412,13 @@ func NewSession(cfg Config) (*Session, error) {
 		store = bank
 	}
 	s := &Session{
-		cfg:    c,
-		src:    src,
-		rng:    rng,
-		bank:   bank,
-		store:  store,
-		groups: c.Rack.Groups(),
+		cfg:            c,
+		src:            src,
+		rng:            rng,
+		bank:           bank,
+		store:          store,
+		groups:         c.Rack.Groups(),
+		intensityScale: 1,
 	}
 	s.pb = &prober{
 		intensity:     c.Intensity(0),
@@ -483,6 +487,26 @@ func (s *Session) Step() (EpochResult, error) {
 	return s.step(s.cfg.Solar.At(s.cfg.StartEpoch + s.epoch))
 }
 
+// SkipEpoch advances the epoch counter without simulating anything — a
+// crashed or quarantined rack stays aligned with the site clock while
+// it is down, so its epoch records resume at the right index when it
+// rejoins. Nothing else changes: no measurement noise is drawn, no
+// power flows, and the controller's projections simply go stale (which
+// is exactly what a dead rack's controller does).
+func (s *Session) SkipEpoch() { s.epoch++ }
+
+// SetIntensityScale scales the configured demand intensity pattern from
+// the next step on — the fleet chaos engine's flash-crowd hook. Scaled
+// intensity is clamped to the pattern's (0.05, 1] band; a scale of
+// exactly 1 leaves every epoch bit-identical to an unscaled run.
+func (s *Session) SetIntensityScale(scale float64) error {
+	if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+		return fmt.Errorf("%w: intensity scale %v", ErrBadConfig, scale)
+	}
+	s.intensityScale = scale
+	return nil
+}
+
 // Allocation is one rack's per-epoch share of site-level resources, as
 // split by a fleet allocator.
 type Allocation struct {
@@ -520,6 +544,15 @@ func (s *Session) step(renewable float64) (EpochResult, error) {
 	e := s.epoch
 	s.epoch++
 	intensity := c.Intensity(e)
+	if s.intensityScale != 1 {
+		intensity *= s.intensityScale
+		if intensity > 1 {
+			intensity = 1
+		}
+		if intensity < 0.05 {
+			intensity = 0.05
+		}
+	}
 	s.tryIntensity = intensity
 	s.pb.intensity = intensity
 

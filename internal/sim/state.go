@@ -60,15 +60,20 @@ const maxRestoreDraws = 1 << 36
 // built from a different scenario. All floats survive the JSON
 // round-trip bit-exactly.
 type State struct {
-	Policy      string          `json:"policy"`
-	Workload    string          `json:"workload"`
-	Seed        int64           `json:"seed"`
-	Epoch       int             `json:"epoch"`
-	PrevDemandW float64         `json:"prevDemandW"`
-	RNGDraws    uint64          `json:"rngDraws"`
-	Battery     battery.State   `json:"battery"`
-	Controller  core.State      `json:"controller"`
-	DB          json.RawMessage `json:"db"`
+	Policy      string  `json:"policy"`
+	Workload    string  `json:"workload"`
+	Seed        int64   `json:"seed"`
+	Epoch       int     `json:"epoch"`
+	PrevDemandW float64 `json:"prevDemandW"`
+	RNGDraws    uint64  `json:"rngDraws"`
+	// External marks a snapshot of a session driven on an external
+	// battery store (Config.Bank): Battery is then zero/ignored — the
+	// store's state belongs to its owner, the fleet coordinator.
+	// Omitted when false, so pre-fleet snapshots decode unchanged.
+	External   bool            `json:"external,omitempty"`
+	Battery    battery.State   `json:"battery"`
+	Controller core.State      `json:"controller"`
+	DB         json.RawMessage `json:"db"`
 }
 
 // ErrBadState is returned by RestoreState for snapshots that fail
@@ -76,12 +81,10 @@ type State struct {
 var ErrBadState = errors.New("sim: bad state")
 
 // ExportState snapshots the session between steps. Sessions driven on
-// an external battery store (Config.Bank) cannot export: the store's
-// state belongs to its owner, the fleet coordinator.
+// an external battery store (Config.Bank) export with External set and
+// no battery section: the store's state belongs to its owner, the
+// fleet coordinator, which checkpoints it separately.
 func (s *Session) ExportState() (*State, error) {
-	if s.bank == nil {
-		return nil, errors.New("sim: export: session runs on an external battery store")
-	}
 	ctrlSt, err := s.ctrl.ExportState()
 	if err != nil {
 		return nil, fmt.Errorf("sim: export: %w", err)
@@ -90,17 +93,22 @@ func (s *Session) ExportState() (*State, error) {
 	if err := s.cfg.DB.Save(&db); err != nil {
 		return nil, fmt.Errorf("sim: export: %w", err)
 	}
-	return &State{
+	st := &State{
 		Policy:      s.Policy(),
 		Workload:    s.WorkloadLabel(),
 		Seed:        s.cfg.Seed,
 		Epoch:       s.epoch,
 		PrevDemandW: s.prevDemand,
 		RNGDraws:    s.src.draws,
-		Battery:     s.bank.State(),
 		Controller:  ctrlSt,
 		DB:          db.Bytes(),
-	}, nil
+	}
+	if s.bank == nil {
+		st.External = true
+	} else {
+		st.Battery = s.bank.State()
+	}
+	return st, nil
 }
 
 // RestoreState applies a snapshot taken by ExportState on a session
@@ -126,14 +134,17 @@ func (s *Session) RestoreState(st *State) error {
 	if st.RNGDraws > maxRestoreDraws {
 		return fmt.Errorf("%w: implausible RNG draw count %d", ErrBadState, st.RNGDraws)
 	}
-	if s.bank == nil {
-		return fmt.Errorf("%w: session runs on an external battery store", ErrBadState)
+	if st.External != (s.bank == nil) {
+		return fmt.Errorf("%w: snapshot external=%v but session external=%v (battery ownership mismatch)",
+			ErrBadState, st.External, s.bank == nil)
 	}
 	if err := s.cfg.DB.RestoreFrom(bytes.NewReader(st.DB)); err != nil {
 		return fmt.Errorf("sim: restore database: %w", err)
 	}
-	if err := s.bank.Restore(st.Battery); err != nil {
-		return fmt.Errorf("sim: restore battery: %w", err)
+	if s.bank != nil {
+		if err := s.bank.Restore(st.Battery); err != nil {
+			return fmt.Errorf("sim: restore battery: %w", err)
+		}
 	}
 	if err := s.ctrl.RestoreState(st.Controller); err != nil {
 		return fmt.Errorf("sim: restore controller: %w", err)
